@@ -1,0 +1,40 @@
+"""Ablation — search algorithm choice for the cross-layer tuning loop.
+
+DESIGN.md calls out the search-algorithm choice (random-forest surrogate
+vs GP Bayesian optimisation vs plain random search) as a design decision
+worth quantifying: all three are run with the same evaluation budget on
+the ytopt kernel-tuning problem and compared on best-found runtime.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table, sparkline
+from repro.core.usecases.uc3_ytopt_clang import tune_kernel
+
+BUDGET = 20
+
+
+def run_ablation():
+    rows = []
+    for search in ("random", "forest", "bayesian", "genetic"):
+        result = tune_kernel(None, max_evals=BUDGET, seed=13, search=search,
+                             include_system_knobs=False)
+        rows.append(
+            {
+                "search": search,
+                "best_runtime_s": result.best_objective,
+                "evaluations": result.evaluations,
+                "convergence": sparkline(result.convergence),
+            }
+        )
+    return rows
+
+
+def test_ablation_search_algorithms(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    banner(f"Ablation: search algorithms at a fixed budget of {BUDGET} evaluations")
+    print(format_table(rows))
+    by_name = {row["search"]: row["best_runtime_s"] for row in rows}
+    # The model-based searches should never lose badly to random search.
+    assert by_name["forest"] <= by_name["random"] * 1.5
+    assert by_name["bayesian"] <= by_name["random"] * 1.5

@@ -1,0 +1,63 @@
+"""Ablation — job power-budget policy in the system -> job translation step.
+
+Compares the three job power-budget policies (unlimited, uniform,
+proportional) on the same workload and system budget: how the budget
+translation choice affects throughput, energy, and whether the system
+stays under its procured power.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.apps.generator import WorkloadGenerator
+from repro.core.stack import PowerStack, PowerStackConfig
+from repro.hardware.cluster import ClusterSpec
+from repro.resource_manager.policies import JobPowerPolicy, SitePolicies
+from repro.resource_manager.slurm import SchedulerConfig
+from repro.sim.rng import RandomStreams
+
+N_NODES = 8
+SYSTEM_BUDGET_W = N_NODES * 330.0
+
+
+def run_ablation():
+    workload = WorkloadGenerator(
+        RandomStreams(17), mean_interarrival_s=40.0, max_nodes_per_job=4
+    ).generate(10)
+    rows = []
+    for policy in JobPowerPolicy:
+        policies = SitePolicies(
+            system_power_budget_w=SYSTEM_BUDGET_W, job_power_policy=policy,
+            reserve_fraction=0.05,
+        )
+        stack = PowerStack(
+            PowerStackConfig(
+                cluster=ClusterSpec(n_nodes=N_NODES),
+                policies=policies,
+                scheduler=SchedulerConfig(scheduling_interval_s=10.0),
+                seed=3,
+            )
+        )
+        metrics = stack.run_workload(workload).metrics()
+        rows.append(
+            {
+                "job_power_policy": policy.value,
+                "makespan_s": metrics["runtime_s"],
+                "throughput_jobs_per_hour": metrics["throughput_jobs_per_hour"],
+                "energy_MJ": metrics["energy_j"] / 1e6,
+                "mean_power_w": metrics["power_w"],
+                "peak_power_w": metrics["peak_power_w"],
+                "mean_wait_s": metrics["mean_wait_s"],
+            }
+        )
+    return rows
+
+
+def test_ablation_budget_translation_policy(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    banner(f"Ablation: job power-budget policies under a {SYSTEM_BUDGET_W:.0f} W system budget")
+    print(format_table(rows))
+    by_policy = {row["job_power_policy"]: row for row in rows}
+    # Budgeted policies keep mean system power at or below the unlimited policy.
+    assert by_policy["proportional"]["mean_power_w"] <= by_policy["unlimited"]["mean_power_w"] * 1.05
+    assert all(row["throughput_jobs_per_hour"] > 0 for row in rows)

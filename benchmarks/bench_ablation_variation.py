@@ -1,0 +1,71 @@
+"""Ablation — manufacturing variation and power-aware node selection.
+
+With manufacturing variation disabled, power-aware node selection is
+worthless; with realistic variation, picking the most power-efficient
+nodes for a power-capped job measurably improves its runtime.  This
+quantifies the design decision of modelling variation at all (§3.1.1's
+"which nodes to select ... manufacturing variation").
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.apps.hypre import HypreLaplacian
+from repro.apps.mpi import MpiJobSimulator
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.variation import VariationModel
+from repro.sim.rng import RandomStreams
+
+PER_NODE_CAP_W = 260.0
+JOB_NODES = 4
+
+
+def run_case(power_sigma: float, power_aware: bool) -> dict:
+    cluster = Cluster(
+        ClusterSpec(n_nodes=8, variation=VariationModel(power_sigma=power_sigma)), seed=21
+    )
+    pool = (
+        cluster.rank_nodes_by_efficiency()[:JOB_NODES]
+        if power_aware
+        else cluster.nodes[-JOB_NODES:]
+    )
+    for node in pool:
+        node.set_power_cap(PER_NODE_CAP_W)
+    result = MpiJobSimulator.evaluate(
+        pool, HypreLaplacian(), {"preconditioner": "ParaSails"},
+        streams=RandomStreams(2), job_id="ablation-variation",
+    )
+    return {"runtime_s": result.runtime_s, "energy_kJ": result.energy_j / 1e3}
+
+
+def run_ablation():
+    rows = []
+    for sigma, label in ((0.0, "no variation"), (0.08, "realistic variation (8%)")):
+        for power_aware in (False, True):
+            outcome = run_case(sigma, power_aware)
+            rows.append(
+                {
+                    "variation": label,
+                    "node_selection": "power-aware" if power_aware else "arbitrary",
+                    **outcome,
+                }
+            )
+    return rows
+
+
+def test_ablation_variation_and_node_selection(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    banner("Ablation: manufacturing variation x power-aware node selection "
+           f"(Hypre under {PER_NODE_CAP_W:.0f} W/node)")
+    print(format_table(rows))
+    realistic = {row["node_selection"]: row for row in rows if "realistic" in row["variation"]}
+    no_variation = {row["node_selection"]: row for row in rows if row["variation"] == "no variation"}
+    gain_with_variation = (
+        realistic["arbitrary"]["runtime_s"] - realistic["power-aware"]["runtime_s"]
+    )
+    gain_without = abs(
+        no_variation["arbitrary"]["runtime_s"] - no_variation["power-aware"]["runtime_s"]
+    )
+    print(f"\nruntime gain from power-aware selection with variation   : {gain_with_variation:.2f} s")
+    print(f"runtime gain from power-aware selection without variation: {gain_without:.2f} s")
+    assert gain_with_variation >= -0.05 * realistic["arbitrary"]["runtime_s"]

@@ -1,0 +1,65 @@
+"""Figure 2 — placement of Resource Manager, Job, Runtime System and Application.
+
+Figure 2 is an interaction diagram; its measurable counterpart is the
+*message flow* between layers during a job's life: the RM writes policies
+down to the job-level runtime through the endpoint, the runtime adjusts
+node-level knobs each epoch, the application notifies the runtime at
+region boundaries, and telemetry samples flow back up to the RM.  The
+benchmark counts each interaction along the orange/green arrows.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.apps.base import SyntheticApplication, make_phase
+from repro.apps.mpi import MpiJobSimulator
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.runtime.geopm import GeopmEndpoint, GeopmPolicy, GeopmRuntime
+from repro.sim.rng import RandomStreams
+
+
+def run_interaction_trace():
+    cluster = Cluster(ClusterSpec(n_nodes=4), seed=3)
+    nodes = cluster.nodes[:4]
+    app = SyntheticApplication(
+        "traced",
+        [make_phase("compute", 0.6, kind="compute", ref_threads=56),
+         make_phase("halo", 0.2, kind="mpi", comm_fraction=0.7, ref_threads=56)],
+        n_iterations=10,
+    )
+    endpoint = GeopmEndpoint(job_id="traced-job")
+    policy = GeopmPolicy(agent="power_balancer", power_budget_w=4 * 300.0)
+    endpoint.write_policy(policy)
+    runtime = GeopmRuntime(policy=policy, endpoint=endpoint)
+
+    region_enters = {"count": 0}
+    original = runtime.on_region_enter
+
+    def counting_enter(sim, region, iteration):
+        region_enters["count"] += 1
+        original(sim, region, iteration)
+
+    runtime.on_region_enter = counting_enter
+    result = MpiJobSimulator.evaluate(
+        nodes, app, hooks=runtime, streams=RandomStreams(3),
+        static_imbalance=0.2, job_id="traced-job",
+    )
+    return {
+        "rm_to_runtime_policy_writes": endpoint.policy_updates,
+        "runtime_to_rm_samples": endpoint.sample_updates,
+        "app_to_runtime_region_notifications": region_enters["count"],
+        "runtime_to_node_adjustments": runtime.agent.report().get("adjustments", 0.0),
+        "job_runtime_s": result.runtime_s,
+        "job_energy_j": result.energy_j,
+    }
+
+
+def test_fig2_layer_interactions(benchmark):
+    trace = run_once(benchmark, run_interaction_trace)
+    banner("Figure 2: interactions between RM, runtime system, application and node layers")
+    rows = [{"interaction": key, "count/value": value} for key, value in trace.items()]
+    print(format_table(rows))
+    assert trace["rm_to_runtime_policy_writes"] >= 1
+    assert trace["runtime_to_rm_samples"] >= 10        # one sample per epoch
+    assert trace["app_to_runtime_region_notifications"] == 20  # 10 iterations x 2 regions
+    assert trace["runtime_to_node_adjustments"] >= 1

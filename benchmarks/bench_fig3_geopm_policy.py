@@ -1,0 +1,41 @@
+"""Figure 3 — multijob GEOPM policy assignment.
+
+Shows how the facility-level power policy filters down to job-level
+GEOPM policies under the three site-policy modes of §3.2.2 (static
+site-wide, job-specific from a history database, fully dynamic), and the
+system-level outcome of each mode on the same job mix.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.usecases.uc2_slurm_geopm import policy_mode_comparison
+
+
+def test_fig3_multijob_policy_assignment(benchmark):
+    rows = run_once(benchmark, policy_mode_comparison, 8, 6, 3)
+    banner("Figure 3: facility power policy filtering down to per-job GEOPM policies")
+    summary = []
+    for row in rows:
+        metrics = row["metrics"]
+        budgets = [a["budget_w"] for a in row["assignments"].values() if a["budget_w"]]
+        summary.append(
+            {
+                "policy_mode": row["mode"],
+                "jobs": int(metrics["jobs_completed"]),
+                "mean_job_budget_w": sum(budgets) / len(budgets) if budgets else 0.0,
+                "makespan_s": metrics["runtime_s"],
+                "energy_kJ": metrics["energy_j"] / 1e3,
+                "mean_power_w": metrics["power_w"],
+            }
+        )
+    print(format_table(summary))
+    print("\nper-job policy assignment (dynamic mode):")
+    dynamic = next(row for row in rows if row["mode"] == "dynamic")
+    job_rows = [
+        {"job": job_id, **assignment} for job_id, assignment in dynamic["assignments"].items()
+    ]
+    print(format_table(job_rows))
+    assert {row["mode"] for row in rows} == {"static_sitewide", "job_specific", "dynamic"}
+    for row in rows:
+        assert row["metrics"]["jobs_completed"] == 6.0

@@ -1,0 +1,135 @@
+"""Research area §4.1 — power-aware, adaptive resource allocation.
+
+The section asks "what are the different approaches to quantify the
+potential for performance improvement while tuning resource allocation
+and mapping across the stack?  Potential approaches include exhaustive
+empirical exploration, model-based estimation, and emulation."
+
+This bench runs all three on the same question — how many nodes should a
+moldable Hypre job get under a fixed job power budget? — and compares
+what they recommend and what each costs:
+
+* **exhaustive**: run the job at every permitted node count (ground truth);
+* **model-based**: run it at the two extreme node counts, fit an
+  Amdahl/Gustafson-style time model, and predict the rest;
+* **emulation**: run a shortened (few-iteration) version of the job at
+  every node count and extrapolate to the full length.
+
+Reproduced shape: all three approaches identify the same (or a
+near-optimal) allocation; the model-based and emulation approaches reach
+it at a small fraction of the exhaustive cost.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.apps.hypre import HypreLaplacian
+from repro.apps.mpi import MpiJobSimulator
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.sim.rng import RandomStreams
+
+SEED = 37
+NODE_COUNTS = (1, 2, 3, 4, 6, 8)
+JOB_POWER_BUDGET_W = 8 * 260.0
+FULL_ITERATIONS = None       # the application's own iteration count
+EMULATION_ITERATIONS = 2
+
+
+def run_at(cluster, node_count, max_iterations=None):
+    nodes = cluster.nodes[:node_count]
+    for node in nodes:
+        node.allocated_to = None
+        node.set_power_cap(JOB_POWER_BUDGET_W / node_count)
+        node.set_frequency(node.spec.cpu.freq_base_ghz)
+        node.set_uncore_frequency(node.spec.cpu.uncore_max_ghz)
+    result = MpiJobSimulator.evaluate(
+        nodes,
+        HypreLaplacian(),
+        {"preconditioner": "BoomerAMG"},
+        streams=RandomStreams(SEED),
+        job_id=f"alloc-{node_count}-{max_iterations}",
+        max_iterations=max_iterations,
+    )
+    return result
+
+
+def run_study():
+    cluster = Cluster(ClusterSpec(n_nodes=max(NODE_COUNTS)), seed=SEED)
+    app_iterations = HypreLaplacian().iterations(HypreLaplacian().default_parameters())
+
+    # Ground truth: exhaustive exploration.
+    exhaustive = {n: run_at(cluster, n).runtime_s for n in NODE_COUNTS}
+    exhaustive_evals = len(NODE_COUNTS)
+
+    # Model-based estimation: measure the extremes, fit t(n) = a + b/n.
+    n_lo, n_hi = NODE_COUNTS[0], NODE_COUNTS[-1]
+    t_lo, t_hi = exhaustive[n_lo], exhaustive[n_hi]
+    b = (t_lo - t_hi) / (1.0 / n_lo - 1.0 / n_hi)
+    a = t_lo - b / n_lo
+    model = {n: a + b / n for n in NODE_COUNTS}
+    model_evals = 2
+
+    # Emulation: shortened runs, extrapolated to the full iteration count.
+    emulated = {}
+    for n in NODE_COUNTS:
+        short = run_at(cluster, n, max_iterations=EMULATION_ITERATIONS)
+        per_iteration = short.runtime_s / max(short.iterations_done, 1)
+        emulated[n] = per_iteration * app_iterations
+    emulation_evals = len(NODE_COUNTS)
+
+    return {
+        "exhaustive": exhaustive,
+        "model": model,
+        "emulated": emulated,
+        "costs": {
+            "exhaustive": exhaustive_evals,
+            "model-based": model_evals,
+            "emulation": emulation_evals,
+        },
+        "emulation_fraction": EMULATION_ITERATIONS / app_iterations,
+    }
+
+
+def test_research_adaptive_allocation(benchmark):
+    result = run_once(benchmark, run_study)
+    banner(
+        "Research §4.1: quantifying the benefit of resource (re)allocation — "
+        f"exhaustive vs model-based vs emulation (Hypre, {JOB_POWER_BUDGET_W:.0f} W job budget)"
+    )
+    rows = []
+    for n in NODE_COUNTS:
+        rows.append(
+            {
+                "nodes": n,
+                "exhaustive_s": f"{result['exhaustive'][n]:.2f}",
+                "model_s": f"{result['model'][n]:.2f}",
+                "emulated_s": f"{result['emulated'][n]:.2f}",
+            }
+        )
+    print(format_table(rows))
+
+    best_true = min(result["exhaustive"], key=result["exhaustive"].get)
+    best_model = min(result["model"], key=result["model"].get)
+    best_emulated = min(result["emulated"], key=result["emulated"].get)
+    true_times = np.array([result["exhaustive"][n] for n in NODE_COUNTS])
+    model_times = np.array([result["model"][n] for n in NODE_COUNTS])
+    model_error = float(np.mean(np.abs(model_times - true_times) / true_times))
+
+    print(f"\nbest allocation (ground truth): {best_true} nodes")
+    print(f"best allocation (model-based) : {best_model} nodes")
+    print(f"best allocation (emulation)   : {best_emulated} nodes")
+    print(f"mean model error              : {model_error:.1%}")
+    print(
+        "cost (full-job-equivalent runs): "
+        f"exhaustive={result['costs']['exhaustive']}, "
+        f"model-based={result['costs']['model-based']}, "
+        f"emulation~={result['costs']['emulation'] * result['emulation_fraction']:.1f}"
+    )
+
+    # The benefit estimate must agree: cheap approaches pick a configuration
+    # within 10% of the true optimum.
+    assert result["exhaustive"][best_model] <= result["exhaustive"][best_true] * 1.10
+    assert result["exhaustive"][best_emulated] <= result["exhaustive"][best_true] * 1.10
+    assert result["costs"]["model-based"] < result["costs"]["exhaustive"]
+    assert model_error < 0.25

@@ -1,0 +1,104 @@
+"""Research area §4.2 — offline/static co-tuning of the software stack.
+
+Answers the section's first and last questions with measurements:
+
+* "Can we quantify the impact of different compiler optimization flags
+  for one or more target metrics?" — per-knob marginal impact table,
+  evaluated both uncapped and under a node power cap (the two regimes
+  value the same flag differently, which is exactly why the compiler
+  layer belongs in the co-tuning loop);
+* "Can we identify correlations between black-box characteristics of
+  these dependencies and the efficiency metrics relevant to the
+  PowerStack?" — Pearson correlation of code efficiency / MPI
+  communication factor / wait-power behaviour against runtime and energy.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.apps.base import SyntheticApplication, make_phase
+from repro.compiler.libraries import MPI_VARIANTS
+from repro.compiler.offline import OfflineCoTuningStudy, SoftwareStackConfig
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+SEED = 29
+NODE_CAP_W = 260.0
+
+
+def target_app():
+    return SyntheticApplication(
+        "halo_solver",
+        [
+            make_phase("stencil", 2.5, kind="mixed", ref_threads=56),
+            make_phase("exchange", 1.0, kind="mpi", comm_fraction=0.65, ref_threads=56),
+        ],
+        n_iterations=4,
+    )
+
+
+def run_study():
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=SEED)
+    nodes = cluster.nodes
+
+    def flag_rows(cap):
+        study = OfflineCoTuningStudy(nodes, target_app(), node_power_cap_w=cap, seed=SEED)
+        return study.flag_impact(metrics=("runtime_s", "energy_j"))
+
+    uncapped_rows = flag_rows(None)
+    capped_rows = flag_rows(NODE_CAP_W)
+
+    corr_study = OfflineCoTuningStudy(nodes, target_app(), seed=SEED)
+    configs = [SoftwareStackConfig(opt_level=lvl) for lvl in ("-O0", "-O1", "-O2", "-O3", "-Ofast")]
+    configs += [SoftwareStackConfig(mpi=m) for m in MPI_VARIANTS]
+    configs += [SoftwareStackConfig(opt_level="-O3", march_native=True, fast_math=True)]
+    correlations = corr_study.characteristic_correlations(configs)
+    return {"uncapped": uncapped_rows, "capped": capped_rows, "correlations": correlations}
+
+
+def test_research_offline_cotuning(benchmark):
+    result = run_once(benchmark, run_study)
+    banner("Research §4.2: compiler-flag and library-variant impact on PowerStack metrics")
+
+    def pick(rows, knob, value):
+        return next(r for r in rows if r["knob"] == knob and r["value"] == value)
+
+    table = []
+    for knob, value in (
+        ("opt_level", "-O0"),
+        ("opt_level", "-Ofast"),
+        ("march_native", True),
+        ("fast_math", True),
+        ("mpi", "vendor-mpi"),
+        ("mpi", "openmpi-yield"),
+        ("openmp", "libgomp"),
+        ("jit", True),
+    ):
+        uncapped = pick(result["uncapped"], knob, value)
+        capped = pick(result["capped"], knob, value)
+        table.append(
+            {
+                "knob": f"{knob}={value}",
+                "runtime change (uncapped)": f"{uncapped['runtime_s_change']:+.1%}",
+                f"runtime change ({NODE_CAP_W:.0f} W cap)": f"{capped['runtime_s_change']:+.1%}",
+                "energy change (uncapped)": f"{uncapped['energy_j_change']:+.1%}",
+            }
+        )
+    print(format_table(table))
+
+    print("\ncorrelation of black-box characteristics with PowerStack metrics:")
+    corr_rows = [
+        {"characteristic": name, **{k: f"{v:+.2f}" for k, v in targets.items()}}
+        for name, targets in result["correlations"].items()
+    ]
+    print(format_table(corr_rows))
+
+    o0_uncapped = pick(result["uncapped"], "opt_level", "-O0")["runtime_s_change"]
+    o0_capped = pick(result["capped"], "opt_level", "-O0")["runtime_s_change"]
+    ofast_uncapped = pick(result["uncapped"], "opt_level", "-Ofast")["runtime_s_change"]
+    ofast_capped = pick(result["capped"], "opt_level", "-Ofast")["runtime_s_change"]
+    assert o0_uncapped > 0.3 and o0_capped > 0.3   # -O0 costs a lot in both regimes
+    assert ofast_uncapped < 0.0 and ofast_capped < 0.0  # -Ofast helps in both regimes
+    # Better generated code correlates strongly with lower runtime.
+    assert result["correlations"]["code_efficiency"]["runtime_s"] < -0.6
+    # The §4.2 interaction: the power regime changes how much a flag is worth.
+    assert abs(ofast_capped - ofast_uncapped) > 0.005

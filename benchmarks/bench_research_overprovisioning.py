@@ -1,0 +1,85 @@
+"""Research area §4.3 — online/offline co-tuning on overprovisioned hardware.
+
+Quantifies the trade-off the section asks about ("the number of compute
+devices on the system vs. system-level efficiency"): under one fixed
+cluster power bound, sweep how many nodes are powered and at what node
+cap, for a scalable bandwidth-bound application and a poorly scaling
+compute/communication-bound one.  Reproduced shape (Patki et al., the
+work §4.3 cites): overprovisioning — more nodes, each under a deep cap —
+wins clearly for the scalable code and buys nothing for the poorly
+scaling one.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.apps.base import SyntheticApplication, make_phase
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.resource_manager.overprovisioning import OverprovisioningPlanner
+
+N_NODES = 8
+TDP_NODES = 4  # the bound admits this many nodes at full TDP
+SEED = 23
+
+
+def make_apps():
+    scalable = SyntheticApplication(
+        "stream_like",
+        [make_phase("triad", 6.0, kind="memory", comm_fraction=0.05, ref_threads=56)],
+        n_iterations=3,
+    )
+    rigid = SyntheticApplication(
+        "dgemm_like",
+        [
+            make_phase(
+                "gemm", 6.0, kind="compute", comm_fraction=0.3,
+                ref_threads=56, serial_fraction=0.05,
+            )
+        ],
+        n_iterations=3,
+        comm_scaling=0.6,
+    )
+    return {"memory-bound, scalable": scalable, "compute-bound, comm-heavy": rigid}
+
+
+def run_study():
+    cluster = Cluster(ClusterSpec(n_nodes=N_NODES), seed=SEED)
+    bound = TDP_NODES * cluster.spec.node.tdp_w
+    planner = OverprovisioningPlanner(cluster, bound, seed=SEED)
+    out = {"bound_w": bound, "apps": {}}
+    for label, app in make_apps().items():
+        out["apps"][label] = planner.optimize(app, objective="runtime", max_iterations=3)
+    return out
+
+
+def test_research_overprovisioning(benchmark):
+    result = run_once(benchmark, run_study)
+    banner(
+        "Research §4.3: hardware overprovisioning under a "
+        f"{result['bound_w']:.0f} W cluster bound ({N_NODES} nodes available)"
+    )
+    rows = []
+    for label, study in result["apps"].items():
+        best, baseline = study["best"], study["baseline"]
+        rows.append(
+            {
+                "application": label,
+                "fully provisioned": f"{baseline.partition.label()}  {baseline.runtime_s:.2f} s",
+                "best overprovisioned": f"{best.partition.label()}  {best.runtime_s:.2f} s",
+                "speedup": f"{study['speedup_over_fully_provisioned']:.2f}x",
+                "configs evaluated": len(study["evaluations"]),
+            }
+        )
+    print(format_table(rows))
+    print("\nfull sweep (memory-bound application):")
+    sweep = OverprovisioningPlanner.table(result["apps"]["memory-bound, scalable"]["evaluations"])
+    print(format_table(sorted(sweep, key=lambda r: r["runtime_s"])[:8]))
+
+    scalable = result["apps"]["memory-bound, scalable"]
+    rigid = result["apps"]["compute-bound, comm-heavy"]
+    assert scalable["speedup_over_fully_provisioned"] > 1.1
+    assert abs(rigid["speedup_over_fully_provisioned"] - 1.0) < 0.15
+    assert (
+        scalable["best"].partition.nodes_powered
+        > scalable["baseline"].partition.nodes_powered
+    )

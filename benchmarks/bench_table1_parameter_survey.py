@@ -1,0 +1,21 @@
+"""Table 1 — survey of parameters and methods used by the PowerStack layers.
+
+Regenerated from the live layer registry (:mod:`repro.core.interfaces`),
+so every row reflects knobs and methods that the framework actually
+implements.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.analysis.survey import parameters_methods_table
+
+
+def test_table1_parameters_and_methods(benchmark):
+    rows = run_once(benchmark, parameters_methods_table)
+    banner("Table 1: parameters and methods used by the layers of the PowerStack")
+    print(format_table(rows, columns=["layer", "control_parameters", "methods"], max_width=80))
+    print()
+    print(format_table(rows, columns=["layer", "objectives", "telemetry"], max_width=80))
+    assert len(rows) >= 6
+    assert any("RAPL" in row["control_parameters"] for row in rows)

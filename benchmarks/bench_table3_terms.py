@@ -1,0 +1,14 @@
+"""Table 3 — definitions of terms used by the end-to-end auto-tuning framework."""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.analysis.survey import terms_table
+
+
+def test_table3_definitions_of_terms(benchmark):
+    rows = run_once(benchmark, terms_table)
+    banner("Table 3: definitions of terms")
+    print(format_table(rows, columns=["term", "definition"], max_width=96))
+    terms = {row["term"] for row in rows}
+    assert {"tuning", "co-tuning", "end-to-end auto-tuning", "power corridor"} <= terms

@@ -1,0 +1,32 @@
+"""Use case 2 (§3.2.2) — co-tuning SLURM and GEOPM.
+
+Reproduced shape: under a job power budget and load imbalance, the GEOPM
+power-balancer agent beats the static power governor on both runtime and
+energy; the energy-efficient agent trades a bounded slowdown for an
+energy saving.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.usecases.uc2_slurm_geopm import run_use_case
+
+
+def test_uc2_slurm_geopm_agents(benchmark):
+    result = run_once(benchmark, run_use_case, 4, 280.0, 2, 25, False)
+    banner("Use case 2: SLURM + GEOPM agent comparison (imbalanced job, 4 nodes)")
+    rows = [
+        {
+            "agent": row["agent"],
+            "runtime_s": row["runtime_s"],
+            "energy_kJ": row["energy_j"] / 1e3,
+            "avg_power_w": row["power_w"],
+            "mpi_wait_s": row["mpi_wait_s"],
+        }
+        for row in result["agents"]
+    ]
+    print(format_table(rows))
+    print(f"\npower balancer speedup over static governor : {result['balancer_speedup_over_governor'] * 100:.1f} %")
+    print(f"energy-efficient agent saving vs monitor      : {result['energy_saving_energy_efficient'] * 100:.1f} %")
+    assert result["balancer_speedup_over_governor"] > 0.0
+    assert result["energy_saving_energy_efficient"] > 0.0

@@ -1,0 +1,42 @@
+"""Use case 3 (§3.2.3) — ytopt co-tuning of compiler, application and runtime knobs.
+
+Reproduced shape: the best pragma/system configuration found without a
+power cap is different from (and slower than) the one found when the
+node is power-capped, because the cap moves the kernel's bottleneck.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table, sparkline
+from repro.core.usecases.uc3_ytopt_clang import run_use_case
+
+
+def test_uc3_ytopt_under_power_cap(benchmark):
+    result = run_once(benchmark, run_use_case, 20, 4, 240.0, "forest")
+    banner("Use case 3: ytopt autotuning with and without a node power cap")
+    rows = [
+        {
+            "regime": "uncapped",
+            "best_runtime_s": result["uncapped"]["best_objective"],
+            "evaluations": result["uncapped"]["evaluations"],
+            "convergence": sparkline(result["uncapped_convergence"]),
+        },
+        {
+            "regime": f"capped ({result['node_power_cap_w']:.0f} W/node)",
+            "best_runtime_s": result["capped"]["best_objective"],
+            "evaluations": result["capped"]["evaluations"],
+            "convergence": sparkline(result["capped_convergence"]),
+        },
+    ]
+    print(format_table(rows))
+    print(f"\nbest config uncapped: {result['uncapped']['best_config']}")
+    print(f"best config capped  : {result['capped']['best_config']}")
+    print(f"winners differ      : {result['winners_differ']}")
+    if result["cross_evaluation"]:
+        cross = result["cross_evaluation"]
+        print(
+            "\nuncapped winner re-evaluated under the cap: "
+            f"{cross['uncapped_winner_under_cap']['runtime_s']:.2f} s "
+            f"(capped winner: {result['capped']['best_objective']:.2f} s)"
+        )
+    assert result["capped"]["best_objective"] >= result["uncapped"]["best_objective"] * 0.99

@@ -1,0 +1,32 @@
+"""Use case 4 (§3.2.4) — READEX/MERIC tuning of the ESPRESO FETI solver.
+
+Reproduced shape: per-region dynamic tuning saves energy over both the
+default configuration and the best single static configuration, at a
+small time-to-solution cost.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.usecases.uc4_readex_espreso import run_use_case
+
+
+def test_uc4_readex_espreso(benchmark):
+    result = run_once(benchmark, run_use_case, 2, 5, "energy_j", 25)
+    banner("Use case 4: READEX design-time analysis + per-region tuning of ESPRESO FETI")
+    rows = [
+        {"run": "default", **result["default"]},
+        {"run": "best static", **result["best_static"]},
+        {"run": "READEX dynamic (per region)", **result["readex_dynamic"]},
+    ]
+    print(format_table(rows))
+    print(f"\ndesign-time experiments run          : {result['experiments_run']}")
+    print(f"ATP parameters selected              : {result['application_params']}")
+    print(f"energy saving static  vs default     : {result['energy_saving_static_vs_default'] * 100:.1f} %")
+    print(f"energy saving dynamic vs default     : {result['energy_saving_dynamic_vs_default'] * 100:.1f} %")
+    print(f"energy saving dynamic vs best static : {result['energy_saving_dynamic_vs_static'] * 100:.1f} %")
+    print(f"slowdown dynamic vs default          : {result['slowdown_dynamic_vs_default'] * 100:.1f} %")
+    print("\nper-region configuration (tuning model):")
+    region_rows = [{"region": region, **config} for region, config in result["region_configs"].items()]
+    print(format_table(region_rows))
+    assert result["energy_saving_dynamic_vs_default"] > 0.0

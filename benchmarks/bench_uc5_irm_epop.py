@@ -1,0 +1,41 @@
+"""Use case 5 (§3.2.5) — IRM + EPOP power corridor management.
+
+Reproduced shape: the invasive strategy (dynamic node redistribution of
+malleable EPOP jobs) keeps the system power inside the corridor better
+than no control, and at least as well as the reactive baselines.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.usecases.uc5_irm_epop import run_use_case
+from repro.resource_manager.irm import CorridorStrategy
+
+
+def test_uc5_irm_epop_corridor(benchmark):
+    result = run_once(
+        benchmark, run_use_case, 12, 4, 20, 6,
+        (CorridorStrategy.NONE, CorridorStrategy.DVFS,
+         CorridorStrategy.POWER_CAPPING, CorridorStrategy.INVASIVE),
+    )
+    lower, upper = result["corridor"]
+    banner("Use case 5: power-corridor enforcement strategies (IRM + EPOP)")
+    print(f"corridor: [{lower:.0f} W, {upper:.0f} W]")
+    rows = []
+    for name, run in result["runs"].items():
+        report = run["corridor_report"]
+        rows.append(
+            {
+                "strategy": name,
+                "violation_fraction": report.get("violation_fraction", 1.0),
+                "events": report.get("events", 0.0),
+                "shrinks": report.get("shrinks", 0.0),
+                "expands": report.get("expands", 0.0),
+                "makespan_s": run["stats"]["makespan_s"],
+                "jobs_completed": run["stats"]["jobs_completed"],
+            }
+        )
+    print(format_table(rows))
+    fractions = result["violation_fractions"]
+    print(f"\nviolation fraction none -> invasive: {fractions['none']:.2f} -> {fractions['invasive']:.2f}")
+    assert fractions["invasive"] <= fractions["none"] + 1e-9

@@ -1,0 +1,37 @@
+"""Use case 6 (§3.2.6) — co-tuning SLURM and COUNTDOWN.
+
+Reproduced shape: COUNTDOWN saves energy at near-neutral performance on
+the communication-heavy application, saves much less on the compute-bound
+one, and the aggressive (wait-and-copy) mode saves the most.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.usecases.uc6_slurm_countdown import run_use_case
+
+
+def test_uc6_slurm_countdown(benchmark):
+    result = run_once(benchmark, run_use_case, 4, 7, 25)
+    banner("Use case 6: COUNTDOWN aggressiveness levels on MPI-heavy vs compute-bound apps")
+    for label in ("mpi_heavy", "compute_bound"):
+        print(f"\napplication: {label}")
+        rows = [
+            {
+                "mode": row["mode"],
+                "runtime_s": row["runtime_s"],
+                "energy_kJ": row["energy_j"] / 1e3,
+                "energy_saving_%": row["energy_saving"] * 100,
+                "slowdown_%": row["slowdown"] * 100,
+                "mpi_fraction": row["mpi_fraction"],
+            }
+            for row in result[label]
+        ]
+        print(format_table(rows))
+    summary = result["summary"]
+    print("\nsummary:")
+    print(f"  MPI-heavy, wait-and-copy saving : {summary['mpi_heavy_wait_and_copy_saving'] * 100:.1f} %")
+    print(f"  compute-bound, wait-and-copy    : {summary['compute_bound_wait_and_copy_saving'] * 100:.1f} %")
+    print(f"  MPI-heavy, wait-only slowdown   : {summary['mpi_heavy_wait_only_slowdown'] * 100:.2f} %")
+    assert summary["mpi_heavy_wait_and_copy_saving"] > summary["compute_bound_wait_and_copy_saving"]
+    assert abs(summary["mpi_heavy_wait_only_slowdown"]) < 0.05

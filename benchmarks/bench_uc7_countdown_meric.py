@@ -1,0 +1,32 @@
+"""Use case 7 (§3.2.7) — COUNTDOWN and MERIC running together.
+
+Reproduced shape: the coordinated pair saves at least as much energy as
+the better of the two tools alone, with the arbitration layer preventing
+them from fighting over the frequency knob.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.usecases.uc7_countdown_meric import run_use_case
+
+
+def test_uc7_countdown_plus_meric(benchmark):
+    result = run_once(benchmark, run_use_case, 4, 8, 25)
+    banner("Use case 7: COUNTDOWN + MERIC with the runtime coordination layer")
+    rows = [
+        {
+            "configuration": name,
+            "runtime_s": run["runtime_s"],
+            "energy_kJ": run["energy_j"] / 1e3,
+            "energy_saving_%": result["energy_savings"][name] * 100,
+            "slowdown_%": result["slowdowns"][name] * 100,
+        }
+        for name, run in result["runs"].items()
+    ]
+    print(format_table(rows))
+    print(f"\nconflicts prevented by the coordination layer: {result['conflicts_prevented']}")
+    print(f"coordinated saves at least as much as the better single tool: "
+          f"{result['coordinated_beats_individual']}")
+    assert result["coordinated_beats_individual"]
+    assert result["energy_savings"]["coordinated"] > 0.0

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation DESIGN.md calls out).  Each runs its experiment exactly once
+through ``benchmark.pedantic`` (the experiments are simulations — the
+interesting output is the regenerated table, not the wall-clock time of
+the simulator) and prints the rows/series with a clear banner so the
+``bench_output.txt`` log reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, function: Callable, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    line = "=" * max(60, len(title) + 8)
+    print(f"\n{line}\n=== {title}\n{line}")

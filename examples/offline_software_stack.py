@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Offline/static co-tuning of compiler flags and library variants (§4.2).
+
+The compiler tool chain and the MPI/OpenMP builds an application links
+against are outside the PowerStack's runtime control, but they move the
+same metrics the stack optimises.  This example quantifies each offline
+knob's impact on runtime and energy, with and without a node power cap,
+and prints the correlation between the dependencies' black-box
+characteristics and the PowerStack-relevant metrics.
+
+Run with:  python examples/offline_software_stack.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.apps.base import SyntheticApplication, make_phase
+from repro.compiler.libraries import MPI_VARIANTS
+from repro.compiler.offline import OfflineCoTuningStudy, SoftwareStackConfig
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+
+def target_application() -> SyntheticApplication:
+    return SyntheticApplication(
+        "halo_solver",
+        [
+            make_phase("stencil", 2.5, kind="mixed", ref_threads=56),
+            make_phase("exchange", 1.0, kind="mpi", comm_fraction=0.65, ref_threads=56),
+        ],
+        n_iterations=4,
+    )
+
+
+def main() -> None:
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=17)
+
+    print("== marginal impact of each offline knob (relative to -O2 / openmpi-busy)\n")
+    for cap, label in ((None, "uncapped"), (260.0, "260 W node cap")):
+        study = OfflineCoTuningStudy(
+            cluster.nodes, target_application(), node_power_cap_w=cap, seed=17
+        )
+        rows = study.flag_impact(metrics=("runtime_s", "energy_j"))
+        interesting = [
+            r for r in rows
+            if (r["knob"], r["value"]) in {
+                ("opt_level", "-O0"), ("opt_level", "-Ofast"), ("march_native", True),
+                ("mpi", "vendor-mpi"), ("mpi", "openmpi-yield"), ("jit", True),
+            }
+        ]
+        print(f"-- {label}")
+        print(format_table([
+            {
+                "knob": f"{r['knob']}={r['value']}",
+                "runtime": f"{r['runtime_s_change']:+.1%}",
+                "energy": f"{r['energy_j_change']:+.1%}",
+            }
+            for r in interesting
+        ]))
+        print()
+
+    print("== correlation of black-box characteristics with PowerStack metrics\n")
+    study = OfflineCoTuningStudy(cluster.nodes, target_application(), seed=17)
+    configs = [SoftwareStackConfig(opt_level=lvl) for lvl in ("-O0", "-O1", "-O2", "-O3", "-Ofast")]
+    configs += [SoftwareStackConfig(mpi=m) for m in MPI_VARIANTS]
+    correlations = study.characteristic_correlations(configs)
+    print(format_table([
+        {"characteristic": name, **{k: f"{v:+.2f}" for k, v in row.items()}}
+        for name, row in correlations.items()
+    ]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: tune an application's knobs under a node power cap.
+
+This is the smallest end-to-end loop the library supports: build a
+simulated node, describe the tunable surface of an application, and let
+the autotuner (random-forest surrogate by default) find the best
+configuration for the chosen objective while a power constraint is in
+force.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis.reporting import format_table, sparkline
+from repro.apps.hypre import HypreLaplacian
+from repro.apps.mpi import MpiJobSimulator
+from repro.core import Autotuner, ConstraintSet, MetricConstraint, ParameterSpace
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.sim.rng import RandomStreams
+
+
+def main() -> None:
+    # 1. A small simulated cluster (4 dual-socket nodes with RAPL + DVFS).
+    cluster = Cluster(ClusterSpec(n_nodes=4), seed=1)
+    nodes = cluster.nodes[:4]
+    per_node_cap_w = 280.0
+
+    # 2. The application and its tunable surface (Hypre-style solver knobs).
+    app = HypreLaplacian()
+    space = ParameterSpace.from_dict(
+        {
+            "solver": ["PCG", "GMRES", "BiCGSTAB"],
+            "preconditioner": ["BoomerAMG", "ParaSails", "Euclid", "Jacobi"],
+            "strong_threshold": [0.25, 0.5, 0.7, 0.9],
+        },
+        layer="application",
+    )
+
+    # 3. The evaluator: run the job on the capped nodes and report metrics.
+    def evaluate(config):
+        for node in nodes:
+            node.allocated_to = None
+            node.set_power_cap(per_node_cap_w)
+        result = MpiJobSimulator.evaluate(
+            nodes, app, config, streams=RandomStreams(7), job_id="quickstart"
+        )
+        return result.metrics()
+
+    # 4. Tune for minimum runtime while staying under the power cap.
+    tuner = Autotuner(
+        space=space,
+        evaluator=evaluate,
+        objective="runtime",
+        constraints=ConstraintSet().add(MetricConstraint.power_cap(per_node_cap_w * len(nodes))),
+        search="forest",
+        max_evals=20,
+        seed=1,
+    )
+    result = tuner.run()
+
+    print(f"evaluations : {result.evaluations}")
+    print(f"best config : {result.best_config}")
+    print(f"best runtime: {result.best_objective:.2f} s")
+    print(f"convergence : {sparkline(result.convergence)}")
+    print()
+    rows = [
+        {"runtime_s": record.objective, **record.config}
+        for record in result.database.top_k(5)
+    ]
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

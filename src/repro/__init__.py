@@ -1,0 +1,1 @@
+"""Reproduction of "Toward an End-to-End Auto-tuning Framework in HPC PowerStack"."""

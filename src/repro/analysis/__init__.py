@@ -1,0 +1,25 @@
+"""Reporting: survey tables (Tables 1-3) and text rendering of results.
+
+* :mod:`repro.analysis.survey` — regenerates the paper's three survey
+  tables from the live registries in :mod:`repro.core.interfaces` and the
+  implemented components themselves.
+* :mod:`repro.analysis.reporting` — small helpers to format experiment
+  results as aligned text tables and ASCII sparklines/time-series, which
+  is how the benchmark harness "draws" the paper's figures.
+"""
+
+from repro.analysis.reporting import ascii_timeseries, format_table, sparkline
+from repro.analysis.survey import (
+    existing_components_table,
+    parameters_methods_table,
+    terms_table,
+)
+
+__all__ = [
+    "ascii_timeseries",
+    "existing_components_table",
+    "format_table",
+    "parameters_methods_table",
+    "sparkline",
+    "terms_table",
+]

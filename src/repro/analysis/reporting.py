@@ -1,0 +1,132 @@
+"""Text rendering helpers for experiment reports.
+
+The benchmark harness prints the rows/series the paper reports; these
+helpers keep that output readable in a terminal: aligned tables, unicode
+sparklines for convergence curves, and a small ASCII time-series plot
+for the power-corridor figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "sparkline", "ascii_timeseries", "format_metrics"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3g}",
+    max_width: int = 48,
+) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            text = float_format.format(value)
+        else:
+            text = str(value)
+        if len(text) > max_width:
+            text = text[: max_width - 1] + "…"
+        return text
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in table)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_metrics(metrics: Mapping[str, float], keys: Optional[Sequence[str]] = None) -> str:
+    """One-line ``key=value`` rendering of a metric dictionary."""
+    keys = keys or list(metrics)
+    parts = []
+    for key in keys:
+        if key in metrics:
+            value = metrics[key]
+            parts.append(f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}")
+    return "  ".join(parts)
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """A unicode sparkline (used for tuner convergence curves)."""
+    data = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if data.size == 0:
+        return ""
+    lo, hi = float(data.min()), float(data.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * data.size
+    scaled = (data - lo) / (hi - lo)
+    indices = np.minimum((scaled * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def ascii_timeseries(
+    times: Sequence[float],
+    values: Sequence[float],
+    height: int = 12,
+    width: int = 72,
+    hlines: Optional[Dict[str, float]] = None,
+    title: str = "",
+) -> str:
+    """A small ASCII plot of a time series with optional horizontal lines.
+
+    Used by the power-corridor benchmark to render the Figure 6 style
+    system-power trace with the corridor bounds marked.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return "(empty series)"
+    hlines = hlines or {}
+
+    # Resample onto the plot width.
+    grid_t = np.linspace(times.min(), times.max(), width)
+    grid_v = np.interp(grid_t, times, values)
+    lo = min(values.min(), *hlines.values()) if hlines else values.min()
+    hi = max(values.max(), *hlines.values()) if hlines else values.max()
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    for label, level in hlines.items():
+        r = row_of(level)
+        for c in range(width):
+            canvas[r][c] = "-"
+        tag = label[: max(0, width - 1)]
+        for i, ch in enumerate(tag):
+            canvas[r][i] = ch
+
+    for c, value in enumerate(grid_v):
+        canvas[row_of(float(value))][c] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(canvas):
+        level = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{level:10.0f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + f"t = {times.min():.0f} s ... {times.max():.0f} s"
+    )
+    return "\n".join(lines)

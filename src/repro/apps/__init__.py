@@ -1,0 +1,53 @@
+"""Application substrate: phase-based models of the paper's workloads.
+
+The use cases in §3.2 tune real applications — the Hypre 27-point
+Laplacian test problem, the ESPRESO FETI solver, LULESH, PolyBench-style
+loop kernels, and generic MPI applications.  None of those can be run
+here, so each is replaced by a phase-based analytic model that exposes
+the *same tunable surface* (solver / preconditioner choices, region
+structure, cubic-rank constraints, loop-tiling parameters, MPI phase
+structure) and responds to the hardware knobs the way the real code's
+compute/memory/communication mix would.
+
+* :mod:`repro.apps.base` — the :class:`~repro.apps.base.Application`
+  interface and a configurable synthetic application.
+* :mod:`repro.apps.mpi` — the simulated MPI job executor (ranks, load
+  imbalance, barrier waits, runtime hooks).
+* :mod:`repro.apps.hypre` — Hypre-like 27-pt Laplacian solve (use case 1).
+* :mod:`repro.apps.espreso` — ESPRESO-FETI-like regioned solver (use case 4, Figure 5).
+* :mod:`repro.apps.lulesh` — LULESH-like proxy with a cubic rank constraint (use case 5).
+* :mod:`repro.apps.kernels` — tileable loop kernels for the ytopt flow (use case 3, Figure 4).
+* :mod:`repro.apps.md` — molecular-dynamics proxy with a per-timestep
+  semantic schedule (§4.4).
+* :mod:`repro.apps.stream` — STREAM / DGEMM microbenchmarks.
+* :mod:`repro.apps.generator` — synthetic job-trace generation for the
+  system-level experiments.
+"""
+
+from repro.apps.base import Application, SyntheticApplication, make_phase
+from repro.apps.espreso import EspresoFeti
+from repro.apps.generator import JobRequest, WorkloadGenerator
+from repro.apps.hypre import HypreLaplacian
+from repro.apps.kernels import TileableKernel
+from repro.apps.lulesh import LuleshProxy
+from repro.apps.md import MolecularDynamics
+from repro.apps.mpi import JobResult, MpiJobSimulator, RuntimeHooks
+from repro.apps.stream import DgemmKernel, StreamTriad
+
+__all__ = [
+    "Application",
+    "DgemmKernel",
+    "EspresoFeti",
+    "HypreLaplacian",
+    "JobRequest",
+    "JobResult",
+    "LuleshProxy",
+    "MolecularDynamics",
+    "MpiJobSimulator",
+    "RuntimeHooks",
+    "StreamTriad",
+    "SyntheticApplication",
+    "TileableKernel",
+    "WorkloadGenerator",
+    "make_phase",
+]

@@ -1,0 +1,231 @@
+"""Hypre-like 27-point Laplacian solve (use case 1, §3.2.1).
+
+The paper's first use case co-tunes SLURM, the Conductor runtime and the
+Hypre library on "a 27-point Laplacian problem implemented as part of the
+test program shipped with the Hypre linear solver library".  Hypre's
+tunable surface is algorithmic: Krylov solver, preconditioner, smoother,
+coarsening, strength threshold — "several thousand combinations ... can
+be selected from at job launch".
+
+:class:`HypreLaplacian` models that surface.  Each configuration maps to
+
+* a **setup cost** (AMG hierarchy construction, ILU factorisation, ...),
+* an **iteration count to convergence**, and
+* a **per-iteration phase mix** (smoother sweeps and SpMV are
+  bandwidth-bound; ParaSails-style sparse approximate inverses are much
+  more compute-dense; dot products end in an allreduce).
+
+The constants are chosen so the paper's observed interaction appears:
+the configuration that minimises runtime at unconstrained power is
+compute-dense and loses its advantage under a hardware power cap, where
+a bandwidth-bound AMG configuration overtakes it (§3.2.1: "the best-case
+combination of the tuning knobs for Hypre is often inefficient when
+subject to a hardware power constraint").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.apps.base import Application
+from repro.hardware.workload import PhaseDemand
+
+__all__ = ["HypreLaplacian", "SOLVERS", "PRECONDITIONERS", "SMOOTHERS", "COARSENINGS"]
+
+SOLVERS: Sequence[str] = ("PCG", "GMRES", "BiCGSTAB")
+PRECONDITIONERS: Sequence[str] = ("BoomerAMG", "ParaSails", "Jacobi", "Euclid")
+SMOOTHERS: Sequence[str] = ("hybrid-GS", "l1-GS", "Chebyshev")
+COARSENINGS: Sequence[str] = ("Falgout", "HMIS", "PMIS")
+STRONG_THRESHOLDS: Sequence[float] = (0.25, 0.5, 0.7, 0.9)
+
+
+class HypreLaplacian(Application):
+    """27-point Laplacian solved with Hypre-style solver/preconditioner knobs."""
+
+    name = "hypre_laplacian27"
+
+    def __init__(self, grid_points_per_node: int = 96**3, tolerance: float = 1e-8):
+        if grid_points_per_node <= 0:
+            raise ValueError("grid_points_per_node must be positive")
+        if tolerance <= 0 or tolerance >= 1:
+            raise ValueError("tolerance must be in (0, 1)")
+        self.grid_points_per_node = int(grid_points_per_node)
+        self.tolerance = float(tolerance)
+
+    # -- tunable surface ---------------------------------------------------------
+    def parameter_space(self) -> Dict[str, Sequence[Any]]:
+        return {
+            "solver": list(SOLVERS),
+            "preconditioner": list(PRECONDITIONERS),
+            "smoother": list(SMOOTHERS),
+            "coarsening": list(COARSENINGS),
+            "strong_threshold": list(STRONG_THRESHOLDS),
+            "max_levels": [10, 20, 25],
+        }
+
+    def default_parameters(self) -> Dict[str, Any]:
+        return {
+            "solver": "PCG",
+            "preconditioner": "BoomerAMG",
+            "smoother": "hybrid-GS",
+            "coarsening": "Falgout",
+            "strong_threshold": 0.25,
+            "max_levels": 25,
+        }
+
+    # -- convergence model ----------------------------------------------------------
+    def solver_iterations(self, params: Mapping[str, Any]) -> int:
+        """Krylov iterations to reach the tolerance for a configuration."""
+        params = self.validate_parameters(params)
+        base = {"PCG": 60.0, "GMRES": 78.0, "BiCGSTAB": 52.0}[params["solver"]]
+        precond_factor = {
+            "BoomerAMG": 0.12,
+            "ParaSails": 0.26,
+            "Euclid": 0.45,
+            "Jacobi": 1.6,
+        }[params["preconditioner"]]
+        iters = base * precond_factor
+
+        if params["preconditioner"] == "BoomerAMG":
+            smoother_factor = {"hybrid-GS": 1.0, "l1-GS": 1.08, "Chebyshev": 0.92}[
+                params["smoother"]
+            ]
+            coarsening_factor = {"Falgout": 1.0, "HMIS": 1.15, "PMIS": 1.25}[
+                params["coarsening"]
+            ]
+            # Aggressive strength thresholds make the hierarchy cheaper but
+            # weaker: iterations grow.
+            threshold = float(params["strong_threshold"])
+            threshold_factor = 1.0 + 1.4 * (threshold - 0.25)
+            level_factor = 1.0 + (0.15 if int(params["max_levels"]) <= 10 else 0.0)
+            iters *= smoother_factor * coarsening_factor * threshold_factor * level_factor
+
+        # Tighter tolerances need proportionally more iterations.
+        tol_factor = math.log10(1.0 / self.tolerance) / 8.0
+        return max(3, int(round(iters * tol_factor)))
+
+    def iterations(self, params: Mapping[str, Any]) -> int:
+        return self.solver_iterations(params)
+
+    # -- cost model -------------------------------------------------------------------
+    def _work_scale(self, nodes: int) -> float:
+        """Per-node work per sweep (weak-scaled problem: constant per node)."""
+        return self.grid_points_per_node / 96**3
+
+    def setup_phases(
+        self, params: Mapping[str, Any], nodes: int, ranks_per_node: int
+    ) -> List[PhaseDemand]:
+        params = self.validate_parameters(params)
+        scale = self._work_scale(nodes)
+        precond = params["preconditioner"]
+        if precond == "BoomerAMG":
+            threshold = float(params["strong_threshold"])
+            # Lower thresholds build denser (more expensive) hierarchies.
+            seconds = scale * (3.2 + 2.2 * (0.9 - threshold))
+            return [
+                PhaseDemand(
+                    "amg_setup", seconds, core_fraction=0.35, memory_fraction=0.5,
+                    comm_fraction=0.08, flops_per_second_ref=2.5e11,
+                    ops_per_cycle_ref=1.0, activity_factor=0.7, dram_intensity=0.8,
+                    ref_threads=56,
+                )
+            ]
+        if precond == "ParaSails":
+            return [
+                PhaseDemand(
+                    "parasails_setup", scale * 3.6, core_fraction=0.75,
+                    memory_fraction=0.15, comm_fraction=0.05,
+                    flops_per_second_ref=8e11, ops_per_cycle_ref=2.2,
+                    activity_factor=0.95, dram_intensity=0.3, ref_threads=56,
+                )
+            ]
+        if precond == "Euclid":
+            return [
+                PhaseDemand(
+                    "ilu_setup", scale * 2.8, core_fraction=0.55, memory_fraction=0.35,
+                    comm_fraction=0.05, flops_per_second_ref=4e11,
+                    ops_per_cycle_ref=1.5, activity_factor=0.85, dram_intensity=0.5,
+                    ref_threads=56,
+                )
+            ]
+        # Jacobi: trivial setup.
+        return [
+            PhaseDemand(
+                "jacobi_setup", scale * 0.05, core_fraction=0.3, memory_fraction=0.6,
+                flops_per_second_ref=1e11, ref_threads=56, dram_intensity=0.7,
+            )
+        ]
+
+    def phase_sequence(
+        self, params: Mapping[str, Any], nodes: int, ranks_per_node: int
+    ) -> List[PhaseDemand]:
+        params = self.validate_parameters(params)
+        scale = self._work_scale(nodes)
+        precond = params["preconditioner"]
+        comm_growth = 1.0 + 0.12 * math.log2(max(nodes, 1)) if nodes > 1 else 1.0
+
+        phases: List[PhaseDemand] = []
+        # Sparse matrix-vector product: bandwidth bound.
+        phases.append(
+            PhaseDemand(
+                "spmv", scale * 0.055, core_fraction=0.2, memory_fraction=0.68,
+                comm_fraction=0.06, flops_per_second_ref=1.6e11, ops_per_cycle_ref=0.8,
+                activity_factor=0.6, dram_intensity=0.9, ref_threads=56,
+            )
+        )
+        # Preconditioner application.
+        if precond == "BoomerAMG":
+            smoother_cost = {"hybrid-GS": 1.0, "l1-GS": 0.92, "Chebyshev": 1.12}[
+                params["smoother"]
+            ]
+            coarsening_cost = {"Falgout": 1.0, "HMIS": 0.8, "PMIS": 0.72}[
+                params["coarsening"]
+            ]
+            threshold = float(params["strong_threshold"])
+            density = 1.0 + 1.1 * (0.9 - threshold)
+            seconds = scale * 0.16 * smoother_cost * coarsening_cost * density
+            phases.append(
+                PhaseDemand(
+                    "amg_vcycle", seconds, core_fraction=0.18, memory_fraction=0.68,
+                    comm_fraction=0.1, flops_per_second_ref=1.8e11, ops_per_cycle_ref=0.7,
+                    activity_factor=0.58, dram_intensity=0.92, ref_threads=56,
+                )
+            )
+        elif precond == "ParaSails":
+            phases.append(
+                PhaseDemand(
+                    "parasails_apply", scale * 0.09, core_fraction=0.7,
+                    memory_fraction=0.22, comm_fraction=0.04,
+                    flops_per_second_ref=9e11, ops_per_cycle_ref=2.3,
+                    activity_factor=1.0, dram_intensity=0.35, ref_threads=56,
+                )
+            )
+        elif precond == "Euclid":
+            phases.append(
+                PhaseDemand(
+                    "ilu_solve", scale * 0.11, core_fraction=0.45, memory_fraction=0.45,
+                    comm_fraction=0.05, flops_per_second_ref=3.5e11, ops_per_cycle_ref=1.2,
+                    activity_factor=0.8, dram_intensity=0.6, ref_threads=56,
+                )
+            )
+        else:  # Jacobi
+            phases.append(
+                PhaseDemand(
+                    "jacobi_apply", scale * 0.02, core_fraction=0.2, memory_fraction=0.7,
+                    flops_per_second_ref=1.2e11, ops_per_cycle_ref=0.7,
+                    activity_factor=0.55, dram_intensity=0.85, ref_threads=56,
+                )
+            )
+        # Krylov vector operations ending in a global reduction.
+        solver_vec_cost = {"PCG": 1.0, "GMRES": 1.9, "BiCGSTAB": 1.35}[params["solver"]]
+        phases.append(
+            PhaseDemand(
+                "krylov_ops", scale * 0.03 * solver_vec_cost, core_fraction=0.3,
+                memory_fraction=0.5, comm_fraction=min(0.2, 0.15 * comm_growth),
+                flops_per_second_ref=2.2e11, ops_per_cycle_ref=1.0,
+                activity_factor=0.65, dram_intensity=0.7, ref_threads=56,
+                tags={"mpi_call": "Allreduce"},
+            )
+        )
+        return phases

@@ -1,0 +1,101 @@
+"""LULESH-like shock-hydrodynamics proxy with a cubic rank constraint.
+
+Section 3.2.5 uses LULESH as the example of an application whose
+*constraints* the resource manager must know before it can redistribute
+resources: "A dynamic resource manager also requires knowledge of
+application constraints (for example, the requirement of a cubic number
+of processes in LULESH)".  :class:`LuleshProxy` models a timestep loop
+with the characteristic LULESH phase mix and enforces the cubic-rank
+constraint, which the IRM/EPOP experiments exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.apps.base import Application
+from repro.hardware.workload import PhaseDemand
+
+__all__ = ["LuleshProxy"]
+
+
+def _is_perfect_cube(n: int) -> bool:
+    if n < 1:
+        return False
+    root = round(n ** (1.0 / 3.0))
+    return any((root + d) ** 3 == n for d in (-1, 0, 1))
+
+
+class LuleshProxy(Application):
+    """Explicit shock-hydro timestep loop (Sedov problem proxy)."""
+
+    name = "lulesh_proxy"
+
+    def __init__(self, problem_size: int = 45, n_timesteps: int = 30):
+        if problem_size <= 0:
+            raise ValueError("problem_size must be positive")
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        self.problem_size = int(problem_size)
+        self.n_timesteps = int(n_timesteps)
+
+    def parameter_space(self) -> Dict[str, Sequence[Any]]:
+        return {
+            "problem_size": [30, 45, 60, 90],
+            "balance": [1, 2, 4],
+            "regions": [11, 22, 44],
+        }
+
+    def default_parameters(self) -> Dict[str, Any]:
+        return {"problem_size": self.problem_size, "balance": 1, "regions": 11}
+
+    def rank_constraint(self, ranks: int) -> bool:
+        return _is_perfect_cube(ranks)
+
+    def iterations(self, params: Mapping[str, Any]) -> int:
+        return self.n_timesteps
+
+    def phase_sequence(
+        self, params: Mapping[str, Any], nodes: int, ranks_per_node: int
+    ) -> List[PhaseDemand]:
+        params = self.validate_parameters(params)
+        size = int(params["problem_size"])
+        # Per-rank work is fixed by the problem size (weak scaling per rank);
+        # per-node work is ranks_per_node times that.
+        elements = float(size**3) * ranks_per_node
+        base = elements / 45**3 * 0.35
+        comm_growth = 1.0 + 0.15 * math.log2(max(nodes, 1)) if nodes > 1 else 1.0
+        imbalance_bias = 1.0 + 0.05 * (int(params["balance"]) - 1)
+
+        return [
+            PhaseDemand(
+                "calc_force_nodes", base * 0.38 * imbalance_bias, core_fraction=0.72,
+                memory_fraction=0.2, comm_fraction=0.02, flops_per_second_ref=6e11,
+                ops_per_cycle_ref=1.9, activity_factor=0.95, dram_intensity=0.35,
+                ref_threads=56,
+            ),
+            PhaseDemand(
+                "calc_hourglass", base * 0.27, core_fraction=0.65, memory_fraction=0.28,
+                comm_fraction=0.0, flops_per_second_ref=5e11, ops_per_cycle_ref=1.7,
+                activity_factor=0.92, dram_intensity=0.45, ref_threads=56,
+            ),
+            PhaseDemand(
+                "apply_material_props", base * 0.2, core_fraction=0.45,
+                memory_fraction=0.45, comm_fraction=0.0, flops_per_second_ref=3e11,
+                ops_per_cycle_ref=1.2, activity_factor=0.75, dram_intensity=0.65,
+                ref_threads=56,
+            ),
+            PhaseDemand(
+                "comm_sbn", base * 0.08, core_fraction=0.05, memory_fraction=0.15,
+                comm_fraction=min(0.75, 0.55 * comm_growth), flops_per_second_ref=2e10,
+                ops_per_cycle_ref=0.4, activity_factor=0.4, dram_intensity=0.2,
+                ref_threads=56, tags={"mpi_call": "Isend/Irecv"},
+            ),
+            PhaseDemand(
+                "time_constraint_reduce", base * 0.07, core_fraction=0.1,
+                memory_fraction=0.2, comm_fraction=min(0.8, 0.6 * comm_growth),
+                flops_per_second_ref=1e10, ops_per_cycle_ref=0.3, activity_factor=0.35,
+                dram_intensity=0.1, ref_threads=56, tags={"mpi_call": "Allreduce"},
+            ),
+        ]

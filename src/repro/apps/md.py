@@ -1,0 +1,251 @@
+"""Molecular-dynamics proxy exposing per-timestep semantic information (§4.4).
+
+The paper's last research question asks whether the PowerStack's layers
+can "incorporate semantic information in the application (e.g., state of
+the molecular dynamics simulation at each time step)".  This proxy gives
+the stack something to incorporate: a short-range MD timestep loop
+(LAMMPS/miniMD-style) whose per-timestep structure is *not* uniform —
+
+* every ``rebuild_interval``-th step rebuilds the neighbour list, a
+  bandwidth-bound phase that benefits from high uncore / low core
+  frequency;
+* every ``thermo_interval``-th step runs a thermostat + global reduction,
+  a communication-heavy phase that tolerates deep frequency drops;
+* every other step is dominated by the compute-bound force kernel.
+
+The application knows this schedule *in advance* — that is the semantic
+information — and publishes it through
+:meth:`MolecularDynamics.semantic_state`, which the semantic-aware
+runtime (:mod:`repro.runtime.semantic`) reads at each iteration start to
+set knobs proactively, without MERIC-style measurement or
+instrumentation of every region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.apps.base import Application
+from repro.hardware.workload import PhaseDemand
+
+__all__ = ["MolecularDynamics", "ENSEMBLES"]
+
+#: Supported thermodynamic ensembles (affects thermostat cost).
+ENSEMBLES = ("nve", "nvt", "npt")
+
+
+class MolecularDynamics(Application):
+    """Short-range molecular-dynamics timestep loop with semantic schedule."""
+
+    name = "md_proxy"
+
+    def __init__(
+        self,
+        n_atoms: int = 4_000_000,
+        n_timesteps: int = 40,
+        cutoff_sigma: float = 2.5,
+        rebuild_interval: int = 5,
+        thermo_interval: int = 10,
+        ensemble: str = "nvt",
+    ):
+        if n_atoms <= 0:
+            raise ValueError("n_atoms must be positive")
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        if cutoff_sigma <= 0:
+            raise ValueError("cutoff_sigma must be positive")
+        if rebuild_interval < 1 or thermo_interval < 1:
+            raise ValueError("rebuild_interval and thermo_interval must be >= 1")
+        if ensemble not in ENSEMBLES:
+            raise ValueError(f"unknown ensemble {ensemble!r}; choose from {ENSEMBLES}")
+        self.n_atoms = int(n_atoms)
+        self.n_timesteps = int(n_timesteps)
+        self.cutoff_sigma = float(cutoff_sigma)
+        self.rebuild_interval = int(rebuild_interval)
+        self.thermo_interval = int(thermo_interval)
+        self.ensemble = ensemble
+
+    # -- tunable surface --------------------------------------------------------
+    def parameter_space(self) -> Dict[str, Sequence[Any]]:
+        space: Dict[str, Sequence[Any]] = {
+            "cutoff_sigma": [2.0, 2.5, 3.0, 3.5],
+            "rebuild_interval": [1, 2, 5, 10, 20],
+            "newton_third_law": [True, False],
+            "ensemble": list(ENSEMBLES),
+        }
+        # The instance's own defaults are always legal values, even when the
+        # constructor was given something off the canonical grid.
+        for key, value in (
+            ("cutoff_sigma", self.cutoff_sigma),
+            ("rebuild_interval", self.rebuild_interval),
+        ):
+            if value not in space[key]:
+                space[key] = sorted([*space[key], value])
+        return space
+
+    def default_parameters(self) -> Dict[str, Any]:
+        return {
+            "cutoff_sigma": self.cutoff_sigma,
+            "rebuild_interval": self.rebuild_interval,
+            "newton_third_law": True,
+            "ensemble": self.ensemble,
+        }
+
+    def iterations(self, params: Mapping[str, Any]) -> int:
+        return self.n_timesteps
+
+    def progress_metric(self) -> str:
+        return "timesteps"
+
+    # -- per-timestep structure -----------------------------------------------------
+    def _base_seconds(self, params: Mapping[str, Any], nodes: int) -> float:
+        """Reference seconds of the force kernel on one node's share of atoms."""
+        atoms_per_node = self.n_atoms / max(nodes, 1)
+        # Pair count grows with the cutoff volume; Newton's third law halves it.
+        pair_factor = (float(params["cutoff_sigma"]) / 2.5) ** 3
+        if bool(params["newton_third_law"]):
+            pair_factor *= 0.55
+        return atoms_per_node / 4_000_000 * 1.4 * pair_factor
+
+    def _force_phase(self, params: Mapping[str, Any], nodes: int) -> PhaseDemand:
+        return PhaseDemand(
+            "pair_force",
+            self._base_seconds(params, nodes),
+            core_fraction=0.8,
+            memory_fraction=0.14,
+            comm_fraction=0.02,
+            flops_per_second_ref=7e11,
+            ops_per_cycle_ref=2.1,
+            activity_factor=1.0,
+            dram_intensity=0.3,
+            ref_threads=56,
+            tags={"semantic": "compute"},
+        )
+
+    def _integrate_phase(self, params: Mapping[str, Any], nodes: int) -> PhaseDemand:
+        return PhaseDemand(
+            "integrate",
+            self._base_seconds(params, nodes) * 0.12,
+            core_fraction=0.3,
+            memory_fraction=0.6,
+            comm_fraction=0.0,
+            flops_per_second_ref=1.5e11,
+            ops_per_cycle_ref=0.9,
+            activity_factor=0.6,
+            dram_intensity=0.8,
+            ref_threads=56,
+            tags={"semantic": "memory"},
+        )
+
+    def _halo_phase(self, params: Mapping[str, Any], nodes: int) -> PhaseDemand:
+        comm_growth = 1.0 + 0.12 * math.log2(nodes) if nodes > 1 else 1.0
+        return PhaseDemand(
+            "halo_exchange",
+            self._base_seconds(params, nodes) * 0.1,
+            core_fraction=0.05,
+            memory_fraction=0.15,
+            comm_fraction=min(0.8, 0.5 * comm_growth),
+            flops_per_second_ref=2e10,
+            ops_per_cycle_ref=0.4,
+            activity_factor=0.4,
+            dram_intensity=0.2,
+            ref_threads=56,
+            tags={"mpi_call": "Isend/Irecv", "semantic": "communication"},
+        )
+
+    def _rebuild_phase(self, params: Mapping[str, Any], nodes: int) -> PhaseDemand:
+        # Binning + neighbour-list construction: bandwidth-bound and, on the
+        # steps it runs, the dominant cost (full rebuild, no skin reuse).
+        return PhaseDemand(
+            "neighbor_rebuild",
+            self._base_seconds(params, nodes) * 1.25,
+            core_fraction=0.2,
+            memory_fraction=0.7,
+            comm_fraction=0.05,
+            flops_per_second_ref=8e10,
+            ops_per_cycle_ref=0.7,
+            activity_factor=0.55,
+            dram_intensity=0.9,
+            ref_threads=56,
+            tags={"semantic": "memory"},
+        )
+
+    def _thermostat_phase(self, params: Mapping[str, Any], nodes: int) -> PhaseDemand:
+        comm_growth = 1.0 + 0.2 * math.log2(nodes) if nodes > 1 else 1.0
+        cost = 0.08 if params["ensemble"] == "nve" else 0.15
+        return PhaseDemand(
+            "thermostat_reduce",
+            self._base_seconds(params, nodes) * cost,
+            core_fraction=0.05,
+            memory_fraction=0.1,
+            comm_fraction=min(0.85, 0.6 * comm_growth),
+            flops_per_second_ref=1e10,
+            ops_per_cycle_ref=0.3,
+            activity_factor=0.35,
+            dram_intensity=0.15,
+            ref_threads=56,
+            tags={"mpi_call": "Allreduce", "semantic": "communication"},
+        )
+
+    def phase_sequence(
+        self, params: Mapping[str, Any], nodes: int, ranks_per_node: int
+    ) -> List[PhaseDemand]:
+        """The *typical* (non-rebuild, non-thermo) timestep."""
+        params = self.validate_parameters(params)
+        return [
+            self._force_phase(params, nodes),
+            self._integrate_phase(params, nodes),
+            self._halo_phase(params, nodes),
+        ]
+
+    def iteration_phase_sequence(
+        self, params: Mapping[str, Any], nodes: int, ranks_per_node: int, iteration: int
+    ) -> List[PhaseDemand]:
+        params = self.validate_parameters(params)
+        phases: List[PhaseDemand] = []
+        if self._rebuild_step(params, iteration):
+            phases.append(self._rebuild_phase(params, nodes))
+        phases.append(self._force_phase(params, nodes))
+        phases.append(self._integrate_phase(params, nodes))
+        phases.append(self._halo_phase(params, nodes))
+        if self._thermo_step(params, iteration):
+            phases.append(self._thermostat_phase(params, nodes))
+        return phases
+
+    # -- semantic schedule ----------------------------------------------------------
+    def _rebuild_step(self, params: Mapping[str, Any], iteration: int) -> bool:
+        return iteration % int(params["rebuild_interval"]) == 0
+
+    def _thermo_step(self, params: Mapping[str, Any], iteration: int) -> bool:
+        return params["ensemble"] != "nve" and iteration % self.thermo_interval == 0
+
+    def semantic_state(self, params: Mapping[str, Any], iteration: int) -> Dict[str, Any]:
+        """What this timestep is about to do, declared before it executes.
+
+        Keys
+        ----
+        ``timestep``            the iteration index,
+        ``neighbor_rebuild``    whether the neighbour list is rebuilt,
+        ``thermostat``          whether a global thermostat reduction runs,
+        ``dominant_kind``       ``"memory"`` on rebuild steps, else ``"compute"``,
+        ``memory_fraction_estimate``  the app's own estimate of how much of
+                                the step is bandwidth-bound (what a runtime
+                                would otherwise have to measure).
+        """
+        params = self.validate_parameters(params)
+        rebuild = self._rebuild_step(params, iteration)
+        thermo = self._thermo_step(params, iteration)
+        memory_estimate = 0.25 + (0.45 if rebuild else 0.0)
+        return {
+            "timestep": int(iteration),
+            "neighbor_rebuild": rebuild,
+            "thermostat": thermo,
+            "dominant_kind": "memory" if rebuild else "compute",
+            "memory_fraction_estimate": memory_estimate,
+        }
+
+    def semantic_schedule(self, params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        """The full per-timestep semantic schedule (for RM-level planning)."""
+        params = self.validate_parameters(params)
+        return [self.semantic_state(params, i) for i in range(self.iterations(params))]

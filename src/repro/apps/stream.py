@@ -1,0 +1,110 @@
+"""STREAM- and DGEMM-like microbenchmarks.
+
+These two kernels bracket the workload spectrum the power model cares
+about: STREAM triad is bandwidth-bound (insensitive to core frequency,
+sensitive to uncore frequency), DGEMM is compute-bound (the opposite).
+They are used by unit tests to pin the model's qualitative behaviour and
+by the node-level / runtime experiments as well-understood workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.apps.base import Application, make_phase
+from repro.hardware.workload import PhaseDemand
+
+__all__ = ["StreamTriad", "DgemmKernel"]
+
+
+class StreamTriad(Application):
+    """Memory-bandwidth-bound triad kernel (a[i] = b[i] + s*c[i])."""
+
+    name = "stream_triad"
+
+    def __init__(self, array_mib: int = 2048, n_iterations: int = 20):
+        if array_mib <= 0:
+            raise ValueError("array_mib must be positive")
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.array_mib = int(array_mib)
+        self.n_iterations = int(n_iterations)
+
+    def parameter_space(self) -> Dict[str, Sequence[Any]]:
+        return {
+            "array_mib": [512, 1024, 2048, 4096],
+            "threads_per_rank": [1, 2, 4, 8, 16, 28],
+        }
+
+    def default_parameters(self) -> Dict[str, Any]:
+        return {"array_mib": self.array_mib, "threads_per_rank": 28}
+
+    def iterations(self, params: Mapping[str, Any]) -> int:
+        return self.n_iterations
+
+    def phase_sequence(
+        self, params: Mapping[str, Any], nodes: int, ranks_per_node: int
+    ) -> List[PhaseDemand]:
+        array_mib = int(params.get("array_mib", self.array_mib))
+        # ~10 GB/s/core-ish reference: seconds per sweep scales with the
+        # per-node slice of the arrays (3 arrays touched per triad).
+        per_node_mib = array_mib / max(nodes, 1)
+        seconds = 3.0 * per_node_mib / 40000.0  # 40 GB/s reference node bandwidth
+        return [
+            make_phase(
+                "triad",
+                seconds,
+                kind="memory",
+                ref_threads=int(params.get("threads_per_rank", 28)),
+                flops_per_second_ref=4.0e9,
+            )
+        ]
+
+
+class DgemmKernel(Application):
+    """Compute-bound dense matrix multiply."""
+
+    name = "dgemm"
+
+    def __init__(self, matrix_n: int = 4096, n_iterations: int = 10):
+        if matrix_n <= 0:
+            raise ValueError("matrix_n must be positive")
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.matrix_n = int(matrix_n)
+        self.n_iterations = int(n_iterations)
+
+    def parameter_space(self) -> Dict[str, Sequence[Any]]:
+        return {
+            "matrix_n": [1024, 2048, 4096, 8192],
+            "block_size": [64, 128, 256, 512],
+        }
+
+    def default_parameters(self) -> Dict[str, Any]:
+        return {"matrix_n": self.matrix_n, "block_size": 256}
+
+    def iterations(self, params: Mapping[str, Any]) -> int:
+        return self.n_iterations
+
+    def phase_sequence(
+        self, params: Mapping[str, Any], nodes: int, ranks_per_node: int
+    ) -> List[PhaseDemand]:
+        n = int(params.get("matrix_n", self.matrix_n))
+        block = int(params.get("block_size", 256))
+        flop = 2.0 * n**3 / max(nodes, 1)
+        # Reference node: ~1.5 TFLOP/s sustained with a good blocking factor.
+        efficiency = {64: 0.75, 128: 0.9, 256: 1.0, 512: 0.85}.get(block, 0.8)
+        seconds = flop / (1.5e12 * efficiency)
+        return [
+            make_phase(
+                "dgemm",
+                seconds,
+                kind="compute",
+                ref_threads=56,
+                flops_per_second_ref=1.5e12 * efficiency,
+                # Poor blocking spills to memory: shift some time to the
+                # bandwidth-bound bucket.
+                memory_fraction=0.1 + 0.15 * (1.0 - efficiency),
+                core_fraction=0.85 - 0.15 * (1.0 - efficiency),
+            )
+        ]

@@ -1,0 +1,44 @@
+"""System-software / compiler layer (the paper's added "largely static" layer).
+
+§3 extends the traditional PowerStack with a *system software* layer:
+"the compiler toolchain, system-level dependencies such as MPI, OpenMP,
+and thread-management libraries, and other external entities that play
+an important role in realizing the PowerStack but have no direct
+interfaces in the traditional design".  §3.2.3 then tunes Clang's loop
+pragmas through the ytopt framework (Figure 4), and §4.2 asks for
+quantifying the impact of compiler flags and library variants.
+
+This subpackage models that layer:
+
+* :mod:`repro.compiler.clang` — a Clang-like toolchain whose optimisation
+  flags and loop pragmas change the generated code's efficiency,
+* :mod:`repro.compiler.pragmas` — the loop-transformation pragma set
+  (tile / interchange / pack / unroll-and-jam) and the "mold code"
+  parameter substitution of the ytopt flow,
+* :mod:`repro.compiler.plopper` — the compile-and-run evaluator (ytopt's
+  ``plopper``), including a JIT-compilation mode usable at job relaunch,
+* :mod:`repro.compiler.libraries` — MPI/OpenMP library variants with
+  different communication/threading efficiency.
+* :mod:`repro.compiler.offline` — the §4.2 offline/static co-tuning study
+  (flag and library-variant impact quantification and correlation).
+"""
+
+from repro.compiler.clang import ClangToolchain, CompileResult, OptimizationLevel
+from repro.compiler.libraries import LibraryStack, MPI_VARIANTS, OPENMP_VARIANTS
+from repro.compiler.offline import OfflineCoTuningStudy, SoftwareStackConfig
+from repro.compiler.plopper import Plopper
+from repro.compiler.pragmas import MoldCode, PragmaConfig
+
+__all__ = [
+    "ClangToolchain",
+    "CompileResult",
+    "LibraryStack",
+    "MPI_VARIANTS",
+    "MoldCode",
+    "OPENMP_VARIANTS",
+    "OfflineCoTuningStudy",
+    "OptimizationLevel",
+    "Plopper",
+    "PragmaConfig",
+    "SoftwareStackConfig",
+]

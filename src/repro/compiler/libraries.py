@@ -1,0 +1,87 @@
+"""MPI / OpenMP library variants ("binary dependencies", §3.1.1 and §4.2).
+
+"Which binary dependencies to pick given the situation on the cluster"
+is one of the static RM decisions; §4.2 asks whether we can "quantify
+the impact of using several variants of the application dependencies on
+the efficiency of the PowerStack".  Each variant here scales the
+communication time and/or the threading efficiency of jobs built
+against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["LibraryVariant", "MPI_VARIANTS", "OPENMP_VARIANTS", "LibraryStack"]
+
+
+@dataclass(frozen=True)
+class LibraryVariant:
+    """A library build with its efficiency characteristics."""
+
+    name: str
+    #: Multiplier on communication time (MPI) or serial fraction (OpenMP).
+    comm_time_factor: float = 1.0
+    thread_overhead_factor: float = 1.0
+    #: Relative power draw during waits (busy-poll vs sleep-based progress).
+    wait_power_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.comm_time_factor <= 0 or self.thread_overhead_factor <= 0:
+            raise ValueError("factors must be positive")
+        if self.wait_power_factor <= 0:
+            raise ValueError("wait_power_factor must be positive")
+
+
+MPI_VARIANTS: Dict[str, LibraryVariant] = {
+    "openmpi-busy": LibraryVariant("openmpi-busy", comm_time_factor=1.0, wait_power_factor=1.0),
+    "openmpi-yield": LibraryVariant("openmpi-yield", comm_time_factor=1.05, wait_power_factor=0.6),
+    "mpich-opt": LibraryVariant("mpich-opt", comm_time_factor=0.92, wait_power_factor=1.0),
+    "vendor-mpi": LibraryVariant("vendor-mpi", comm_time_factor=0.85, wait_power_factor=0.95),
+}
+
+OPENMP_VARIANTS: Dict[str, LibraryVariant] = {
+    "libomp": LibraryVariant("libomp", thread_overhead_factor=1.0),
+    "libgomp": LibraryVariant("libgomp", thread_overhead_factor=1.08),
+    "tbb-backend": LibraryVariant("tbb-backend", thread_overhead_factor=0.95),
+}
+
+
+@dataclass(frozen=True)
+class LibraryStack:
+    """The library selection a job is launched with."""
+
+    mpi: str = "openmpi-busy"
+    openmp: str = "libomp"
+
+    def __post_init__(self) -> None:
+        if self.mpi not in MPI_VARIANTS:
+            raise ValueError(f"unknown MPI variant {self.mpi!r}")
+        if self.openmp not in OPENMP_VARIANTS:
+            raise ValueError(f"unknown OpenMP variant {self.openmp!r}")
+
+    @property
+    def mpi_variant(self) -> LibraryVariant:
+        return MPI_VARIANTS[self.mpi]
+
+    @property
+    def openmp_variant(self) -> LibraryVariant:
+        return OPENMP_VARIANTS[self.openmp]
+
+    def comm_time_factor(self) -> float:
+        return self.mpi_variant.comm_time_factor
+
+    def wait_power_factor(self) -> float:
+        return self.mpi_variant.wait_power_factor
+
+    def thread_overhead_factor(self) -> float:
+        return self.openmp_variant.thread_overhead_factor
+
+    @staticmethod
+    def space() -> Dict[str, list]:
+        """The library-level tunable space for the co-tuning framework."""
+        return {
+            "mpi": sorted(MPI_VARIANTS),
+            "openmp": sorted(OPENMP_VARIANTS),
+        }

@@ -1,0 +1,75 @@
+"""The ask/tell search interface and the algorithm factory."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.space import ParameterSpace
+from repro.sim.rng import RandomStreams
+
+__all__ = ["SearchAlgorithm", "make_search", "SEARCH_REGISTRY"]
+
+
+class SearchAlgorithm(abc.ABC):
+    """Base class: propose configurations (ask), learn from results (tell).
+
+    The objective passed to :meth:`tell` is always *minimised*; the tuner
+    handles direction and constraint penalties.
+    """
+
+    name = "search"
+
+    def __init__(self, space: ParameterSpace, seed: int = 0):
+        self.space = space
+        self.streams = RandomStreams(seed)
+        self.rng = self.streams.stream(f"search.{self.name}")
+        #: Evaluated (config, objective) pairs in tell() order.
+        self.history: List[Tuple[Dict[str, Any], float]] = []
+
+    # -- interface -------------------------------------------------------------------
+    @abc.abstractmethod
+    def ask(self) -> Dict[str, Any]:
+        """Propose the next configuration to evaluate."""
+
+    def tell(self, config: Mapping[str, Any], objective: float) -> None:
+        """Report the measured objective for a configuration."""
+        self.history.append((dict(config), float(objective)))
+
+    def is_exhausted(self) -> bool:
+        """True when the algorithm has nothing new to propose (grid search)."""
+        return False
+
+    # -- helpers ----------------------------------------------------------------------
+    def best(self) -> Optional[Tuple[Dict[str, Any], float]]:
+        if not self.history:
+            return None
+        return min(self.history, key=lambda item: item[1])
+
+    def observed_configs(self) -> List[Dict[str, Any]]:
+        return [config for config, _ in self.history]
+
+    def observed_objectives(self) -> np.ndarray:
+        return np.array([obj for _, obj in self.history], dtype=float)
+
+    def _random_config(self) -> Dict[str, Any]:
+        return self.space.sample(self.rng)
+
+
+#: Registry of search algorithms keyed by their short name.
+SEARCH_REGISTRY: Dict[str, type] = {}
+
+
+def register_search(cls):
+    SEARCH_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_search(name: str, space: ParameterSpace, seed: int = 0, **kwargs: Any) -> SearchAlgorithm:
+    """Instantiate a search algorithm by name (``"random"``, ``"forest"``, ...)."""
+    key = name.strip().lower()
+    if key not in SEARCH_REGISTRY:
+        raise ValueError(f"unknown search algorithm {name!r}; available: {sorted(SEARCH_REGISTRY)}")
+    return SEARCH_REGISTRY[key](space, seed=seed, **kwargs)

@@ -1,0 +1,75 @@
+"""A steady-state genetic algorithm over configuration dictionaries."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.core.search.base import SearchAlgorithm, register_search
+from repro.core.space import ParameterSpace
+
+__all__ = ["GeneticAlgorithm"]
+
+
+@register_search
+class GeneticAlgorithm(SearchAlgorithm):
+    """Tournament selection, uniform crossover, per-parameter mutation."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        seed: int = 0,
+        population_size: int = 16,
+        mutation_rate: float = 0.2,
+        tournament: int = 3,
+    ):
+        super().__init__(space, seed)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if tournament < 1:
+            raise ValueError("tournament must be >= 1")
+        self.population_size = int(population_size)
+        self.mutation_rate = float(mutation_rate)
+        self.tournament = int(tournament)
+        #: Evaluated members: (config, objective); best kept at the front.
+        self._population: List[Tuple[Dict[str, Any], float]] = []
+
+    # -- GA operators -----------------------------------------------------------------
+    def _select_parent(self) -> Dict[str, Any]:
+        contenders = [
+            self._population[int(self.rng.integers(0, len(self._population)))]
+            for _ in range(min(self.tournament, len(self._population)))
+        ]
+        return dict(min(contenders, key=lambda item: item[1])[0])
+
+    def _crossover(self, a: Mapping[str, Any], b: Mapping[str, Any]) -> Dict[str, Any]:
+        return {
+            name: (a[name] if self.rng.random() < 0.5 else b[name]) for name in self.space.names()
+        }
+
+    def _mutate(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        mutated = dict(config)
+        for name in self.space.names():
+            if self.rng.random() < self.mutation_rate:
+                mutated[name] = self.space[name].sample(self.rng)
+        return mutated
+
+    # -- ask/tell ------------------------------------------------------------------------
+    def ask(self) -> Dict[str, Any]:
+        # Fill the initial population with random configurations first.
+        if len(self.history) < self.population_size:
+            return self._random_config()
+        for _ in range(30):
+            child = self._mutate(self._crossover(self._select_parent(), self._select_parent()))
+            if self.space.is_allowed(child):
+                return child
+        return self._random_config()
+
+    def tell(self, config: Mapping[str, Any], objective: float) -> None:
+        super().tell(config, objective)
+        self._population.append((dict(config), float(objective)))
+        self._population.sort(key=lambda item: item[1])
+        del self._population[self.population_size:]

@@ -1,0 +1,86 @@
+"""Exhaustive grid search and Latin-hypercube sampling."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.core.search.base import SearchAlgorithm, register_search
+from repro.core.space import ParameterSpace
+
+__all__ = ["GridSearch", "LatinHypercubeSearch"]
+
+
+@register_search
+class GridSearch(SearchAlgorithm):
+    """Walks the (constrained) cartesian grid of representative values.
+
+    This is the "exhaustive empirical exploration" option of §4.1; it is
+    only practical for small spaces, which is exactly the point the
+    ablation benchmark makes.
+    """
+
+    name = "grid"
+
+    def __init__(self, space: ParameterSpace, seed: int = 0, resolution: int = 10):
+        super().__init__(space, seed)
+        self.resolution = int(resolution)
+        self._iterator: Iterator[Dict[str, Any]] = space.grid_configurations(self.resolution)
+        self._exhausted = False
+        self._pending: Optional[Dict[str, Any]] = None
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            self._pending = next(self._iterator)
+        except StopIteration:
+            self._pending = None
+            self._exhausted = True
+
+    def is_exhausted(self) -> bool:
+        return self._exhausted
+
+    def ask(self) -> Dict[str, Any]:
+        if self._pending is None:
+            # Exhausted: fall back to random samples so callers asking for
+            # more evaluations than grid points still get configurations.
+            return self._random_config()
+        config = self._pending
+        self._advance()
+        return config
+
+
+@register_search
+class LatinHypercubeSearch(SearchAlgorithm):
+    """Space-filling design: stratified samples across every dimension."""
+
+    name = "lhs"
+
+    def __init__(self, space: ParameterSpace, seed: int = 0, batch: int = 16):
+        super().__init__(space, seed)
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.batch = int(batch)
+        self._queue: list = []
+
+    def _refill(self) -> None:
+        dims = len(self.space)
+        if dims == 0:
+            raise ValueError("cannot search an empty space")
+        # One stratified permutation per dimension.
+        samples = np.empty((self.batch, dims))
+        for d in range(dims):
+            perm = self.rng.permutation(self.batch)
+            samples[:, d] = (perm + self.rng.random(self.batch)) / self.batch
+        for row in samples:
+            config = self.space.decode(row)
+            if self.space.is_allowed(config):
+                self._queue.append(config)
+        if not self._queue:  # all rows violated constraints: fall back
+            self._queue.append(self._random_config())
+
+    def ask(self) -> Dict[str, Any]:
+        if not self._queue:
+            self._refill()
+        return self._queue.pop(0)

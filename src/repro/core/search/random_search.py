@@ -1,0 +1,36 @@
+"""Uniform random search (the baseline every surrogate must beat)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.search.base import SearchAlgorithm, register_search
+from repro.core.space import ParameterSpace
+
+__all__ = ["RandomSearch"]
+
+
+@register_search
+class RandomSearch(SearchAlgorithm):
+    """Samples allowed configurations uniformly at random, without repeats."""
+
+    name = "random"
+
+    def __init__(self, space: ParameterSpace, seed: int = 0, avoid_repeats: bool = True):
+        super().__init__(space, seed)
+        self.avoid_repeats = avoid_repeats
+        self._seen: set = set()
+
+    @staticmethod
+    def _key(config: Dict[str, Any]) -> tuple:
+        return tuple(sorted((k, str(v)) for k, v in config.items()))
+
+    def ask(self) -> Dict[str, Any]:
+        for _ in range(50):
+            config = self._random_config()
+            key = self._key(config)
+            if not self.avoid_repeats or key not in self._seen:
+                self._seen.add(key)
+                return config
+        # The space is (nearly) exhausted; allow a repeat rather than fail.
+        return self._random_config()

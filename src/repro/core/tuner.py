@@ -1,0 +1,166 @@
+"""The single-loop autotuner (the ytopt flow of Figure 4).
+
+The loop is exactly the paper's three steps: (1) the search algorithm
+assigns values in the allowed ranges, (2) the evaluator ("plopper")
+builds/runs the configuration and measures it, (3) the result is
+appended to the performance database; repeat until ``max_evals``.  The
+best configuration is read off the database at the end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.core.constraints import ConstraintSet
+from repro.core.objectives import Objective, PENALTY_OBJECTIVE, WeightedObjective, make_objective
+from repro.core.search.base import SearchAlgorithm, make_search
+from repro.core.space import ParameterSpace
+from repro.telemetry.database import EvaluationRecord, PerformanceDatabase
+
+__all__ = ["TuningResult", "Autotuner"]
+
+#: An evaluator maps a configuration to a dictionary of measured metrics.
+Evaluator = Callable[[Dict[str, Any]], Mapping[str, float]]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    best_config: Optional[Dict[str, Any]]
+    best_metrics: Dict[str, float]
+    best_objective: float
+    evaluations: int
+    database: PerformanceDatabase
+    objective_name: str
+    infeasible_evaluations: int = 0
+    failed_evaluations: int = 0
+    convergence: List[float] = field(default_factory=list)
+
+    @property
+    def found_feasible(self) -> bool:
+        return self.best_config is not None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "objective": self.objective_name,
+            "best_objective": self.best_objective,
+            "best_config": self.best_config,
+            "evaluations": self.evaluations,
+            "infeasible": self.infeasible_evaluations,
+            "failed": self.failed_evaluations,
+        }
+
+
+class Autotuner:
+    """Ask / evaluate / tell loop over one parameter space."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        evaluator: Evaluator,
+        objective: Union[str, Objective, WeightedObjective] = "runtime",
+        constraints: Optional[ConstraintSet] = None,
+        search: Union[str, SearchAlgorithm] = "forest",
+        max_evals: int = 100,
+        seed: int = 0,
+        database: Optional[PerformanceDatabase] = None,
+        name: str = "autotuner",
+        infeasible_penalty_factor: float = 10.0,
+    ):
+        if max_evals < 1:
+            raise ValueError("max_evals must be >= 1")
+        self.space = space
+        self.evaluator = evaluator
+        self.objective = make_objective(objective) if isinstance(objective, str) else objective
+        self.constraints = constraints or ConstraintSet()
+        self.search = (
+            make_search(search, space, seed=seed) if isinstance(search, str) else search
+        )
+        self.max_evals = int(max_evals)
+        self.database = database if database is not None else PerformanceDatabase(name)
+        self.name = name
+        self.infeasible_penalty_factor = float(infeasible_penalty_factor)
+
+    # -- evaluation of one configuration ---------------------------------------------------
+    def _evaluate_one(self, config: Dict[str, Any]) -> EvaluationRecord:
+        failed = False
+        try:
+            metrics = dict(self.evaluator(config))
+        except Exception as error:  # evaluator failures are data, not crashes
+            metrics = {"error": 1.0, "error_message_hash": float(abs(hash(str(error))) % 10_000)}
+            failed = True
+
+        feasible = (not failed) and self.constraints.allows_metrics(metrics)
+        objective_value = PENALTY_OBJECTIVE if failed else float(self.objective(metrics))
+        record = self.database.add_evaluation(
+            config=config,
+            metrics=metrics,
+            objective=objective_value,
+            elapsed_s=metrics.get("runtime_s", 0.0),
+            feasible=feasible,
+            tuner=self.name,
+        )
+        return record
+
+    def _search_value(self, record: EvaluationRecord) -> float:
+        """Objective value reported to the search (penalised when infeasible)."""
+        if record.feasible:
+            return record.objective
+        if record.objective >= PENALTY_OBJECTIVE:
+            return PENALTY_OBJECTIVE
+        magnitude = abs(record.objective)
+        return record.objective + self.infeasible_penalty_factor * (magnitude + 1.0)
+
+    # -- main loop -------------------------------------------------------------------------------
+    def run(
+        self, callback: Optional[Callable[[int, EvaluationRecord], None]] = None
+    ) -> TuningResult:
+        """Run up to ``max_evals`` evaluations and return the best result."""
+        infeasible = 0
+        failed = 0
+        convergence: List[float] = []
+        best_feasible: Optional[EvaluationRecord] = None
+
+        for index in range(self.max_evals):
+            if self.search.is_exhausted():
+                break
+            config = self.search.ask()
+            config = self.space.validate(config)
+            if not self.space.is_allowed(config):
+                # The search proposed a forbidden combination: reject without
+                # spending an evaluation on it.
+                self.search.tell(config, PENALTY_OBJECTIVE)
+                continue
+
+            record = self._evaluate_one(config)
+            if not record.feasible:
+                infeasible += 1
+            if "error" in record.metrics:
+                failed += 1
+            self.search.tell(config, self._search_value(record))
+
+            if record.feasible and (
+                best_feasible is None or record.objective < best_feasible.objective
+            ):
+                best_feasible = record
+            convergence.append(
+                best_feasible.objective if best_feasible is not None else math.inf
+            )
+            if callback is not None:
+                callback(index, record)
+
+        best = best_feasible or self.database.best(minimize=True, feasible_only=False)
+        return TuningResult(
+            best_config=dict(best.config) if best is not None else None,
+            best_metrics=dict(best.metrics) if best is not None else {},
+            best_objective=best.objective if best is not None else math.inf,
+            evaluations=len(self.database),
+            database=self.database,
+            objective_name=getattr(self.objective, "name", "objective"),
+            infeasible_evaluations=infeasible,
+            failed_evaluations=failed,
+            convergence=convergence,
+        )

@@ -1,0 +1,36 @@
+"""The seven co-tuning use cases of §3.2, as runnable library functions.
+
+Each module exposes a ``run_use_case(...)`` function that builds the
+relevant slice of the PowerStack, runs the experiment the paper
+describes, and returns a plain dictionary of results.  The benchmark
+harness (``benchmarks/bench_uc*.py``) and the integration tests call
+these functions; the examples show how to drive them from user code.
+
+| module | paper section | layers co-tuned |
+|---|---|---|
+| :mod:`uc1_slurm_conductor_hypre` | §3.2.1 | RM + Conductor + Hypre |
+| :mod:`uc2_slurm_geopm`           | §3.2.2 | RM + GEOPM |
+| :mod:`uc3_ytopt_clang`           | §3.2.3 | compiler + application + runtime |
+| :mod:`uc4_readex_espreso`        | §3.2.4 | READEX/MERIC + application |
+| :mod:`uc5_irm_epop`              | §3.2.5 | IRM + EPOP (power corridor) |
+| :mod:`uc6_slurm_countdown`       | §3.2.6 | RM + COUNTDOWN |
+| :mod:`uc7_countdown_meric`       | §3.2.7 | COUNTDOWN + MERIC |
+"""
+
+from repro.core.usecases.uc1_slurm_conductor_hypre import run_use_case as run_uc1
+from repro.core.usecases.uc2_slurm_geopm import run_use_case as run_uc2
+from repro.core.usecases.uc3_ytopt_clang import run_use_case as run_uc3
+from repro.core.usecases.uc4_readex_espreso import run_use_case as run_uc4
+from repro.core.usecases.uc5_irm_epop import run_use_case as run_uc5
+from repro.core.usecases.uc6_slurm_countdown import run_use_case as run_uc6
+from repro.core.usecases.uc7_countdown_meric import run_use_case as run_uc7
+
+__all__ = [
+    "run_uc1",
+    "run_uc2",
+    "run_uc3",
+    "run_uc4",
+    "run_uc5",
+    "run_uc6",
+    "run_uc7",
+]

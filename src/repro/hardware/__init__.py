@@ -1,0 +1,51 @@
+"""Simulated hardware substrate (the "RAPL-capable nodes" substitution).
+
+The paper's tuning loops assume Intel-style hardware controls: per-package
+RAPL power caps and energy counters, per-core DVFS (P-states), uncore
+frequency control, and hardware performance counters.  None of those are
+available in this environment, so this subpackage provides an analytic
+hardware model that exposes the *same control and telemetry surface*:
+
+* :class:`~repro.hardware.cpu.CpuSpec` / :class:`~repro.hardware.cpu.CpuPackage`
+  — a processor package with discrete P-states, uncore frequency, a CMOS
+  power model and a roofline-style performance model.
+* :class:`~repro.hardware.rapl.RaplDomain` / :class:`~repro.hardware.rapl.RaplInterface`
+  — power capping over an averaging window plus monotonically increasing
+  energy counters (with wrap-around, as on real MSRs).
+* :class:`~repro.hardware.variation.VariationModel` — manufacturing
+  variation in power efficiency and achievable turbo frequency.
+* :class:`~repro.hardware.thermal.ThermalModel` — a first-order RC thermal
+  model for thermal-aware scheduling experiments.
+* :class:`~repro.hardware.node.Node` and
+  :class:`~repro.hardware.cluster.Cluster` — nodes (sockets + DRAM + NIC +
+  optional GPUs) aggregated into a cluster with a site power meter.
+"""
+
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.cpu import CpuPackage, CpuSpec, PState
+from repro.hardware.gpu import GpuDevice, GpuSpec
+from repro.hardware.node import Node, NodeSpec
+from repro.hardware.power_model import PowerModelParams
+from repro.hardware.rapl import RaplDomain, RaplInterface
+from repro.hardware.thermal import ThermalModel, ThermalSpec
+from repro.hardware.variation import VariationModel
+from repro.hardware.workload import PhaseDemand
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "CpuPackage",
+    "CpuSpec",
+    "GpuDevice",
+    "GpuSpec",
+    "Node",
+    "NodeSpec",
+    "PhaseDemand",
+    "PowerModelParams",
+    "PState",
+    "RaplDomain",
+    "RaplInterface",
+    "ThermalModel",
+    "ThermalSpec",
+    "VariationModel",
+]

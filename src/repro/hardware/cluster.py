@@ -1,0 +1,154 @@
+"""Cluster model: a set of nodes plus the site power meter.
+
+A :class:`Cluster` is what the system-level layer of the PowerStack
+(resource manager, site policies) operates on: it owns the nodes, knows
+the site's procured power, and exposes a system power meter that the
+power-corridor experiments (Figure 6, use case 5) sample over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.hardware.node import Node, NodeSpec
+from repro.hardware.variation import VariationModel
+from repro.sim.rng import RandomStreams
+
+__all__ = ["ClusterSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a cluster / HPC system."""
+
+    name: str = "sim-cluster"
+    n_nodes: int = 16
+    node: NodeSpec = field(default_factory=NodeSpec)
+    variation: VariationModel = field(default_factory=VariationModel)
+    #: Spread of per-node ambient temperature across the machine room (degC).
+    ambient_spread_c: float = 3.0
+    #: Site-procured power for this system (W).  ``None`` means "sum of TDPs".
+    system_power_budget_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.ambient_spread_c < 0:
+            raise ValueError("ambient_spread_c must be >= 0")
+        if self.system_power_budget_w is not None and self.system_power_budget_w <= 0:
+            raise ValueError("system_power_budget_w must be positive")
+
+
+class Cluster:
+    """A collection of simulated nodes with a system-level power view."""
+
+    def __init__(self, spec: ClusterSpec | None = None, seed: int = 0):
+        self.spec = spec or ClusterSpec()
+        self.streams = RandomStreams(seed)
+        rng = self.streams.stream("cluster.variation")
+        ambient_rng = self.streams.stream("cluster.ambient")
+
+        self.nodes: List[Node] = []
+        for i in range(self.spec.n_nodes):
+            variations = self.spec.variation.draw_many(rng, self.spec.node.n_sockets)
+            ambient_offset = float(
+                ambient_rng.uniform(0.0, self.spec.ambient_spread_c)
+            )
+            self.nodes.append(
+                Node(
+                    self.spec.node,
+                    hostname=f"{self.spec.name}-{i:04d}",
+                    node_id=i,
+                    variations=variations,
+                    ambient_offset_c=ambient_offset,
+                )
+            )
+        self._by_hostname: Dict[str, Node] = {n.hostname: n for n in self.nodes}
+
+    # -- basic access -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def node(self, hostname_or_id) -> Node:
+        """Look a node up by hostname or integer id."""
+        if isinstance(hostname_or_id, int):
+            return self.nodes[hostname_or_id]
+        if hostname_or_id not in self._by_hostname:
+            raise KeyError(f"unknown node {hostname_or_id!r}")
+        return self._by_hostname[hostname_or_id]
+
+    def free_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.is_free]
+
+    def allocated_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if not n.is_free]
+
+    # -- power accounting -----------------------------------------------------
+    @property
+    def system_power_budget_w(self) -> float:
+        if self.spec.system_power_budget_w is not None:
+            return self.spec.system_power_budget_w
+        return self.total_tdp_w()
+
+    def total_tdp_w(self) -> float:
+        return sum(n.max_power_w() for n in self.nodes)
+
+    def total_idle_power_w(self) -> float:
+        return sum(n.idle_power_w() for n in self.nodes)
+
+    def instantaneous_power_w(self, include_idle: bool = True) -> float:
+        """Current system power: busy nodes at their draw, idle at idle power."""
+        total = 0.0
+        for node in self.nodes:
+            if node.is_free:
+                total += node.idle_power_w() if include_idle else 0.0
+            else:
+                total += node.current_power_w
+        return total
+
+    def total_energy_j(self) -> float:
+        return sum(n.total_energy_j() for n in self.nodes)
+
+    # -- node selection helpers -------------------------------------------------
+    def rank_nodes_by_efficiency(self, nodes: Optional[Iterable[Node]] = None) -> List[Node]:
+        """Nodes ordered best-first by manufacturing power efficiency.
+
+        Used for power-aware node selection: under a power cap the most
+        efficient parts sustain the highest frequency, so a power-aware RM
+        prefers them (§3.1.1 "which nodes to select ... manufacturing
+        variation").
+        """
+        pool = list(self.nodes if nodes is None else nodes)
+
+        def badness(node: Node) -> float:
+            return float(
+                np.mean([pkg.variation.power_efficiency for pkg in node.packages])
+            )
+
+        return sorted(pool, key=badness)
+
+    def rank_nodes_by_temperature(self, nodes: Optional[Iterable[Node]] = None) -> List[Node]:
+        """Nodes ordered coolest-first (thermal-aware selection)."""
+        pool = list(self.nodes if nodes is None else nodes)
+        return sorted(pool, key=lambda n: n.max_temperature_c())
+
+    def apply_uniform_power_cap(self, per_node_watts: Optional[float]) -> None:
+        """Cap every node at the same value (the naive baseline policy)."""
+        for node in self.nodes:
+            node.set_power_cap(per_node_watts)
+
+    def summary(self) -> Dict[str, float]:
+        """A small dictionary of headline cluster facts (for reports)."""
+        return {
+            "nodes": float(len(self.nodes)),
+            "cores": float(sum(n.spec.total_cores for n in self.nodes)),
+            "tdp_w": self.total_tdp_w(),
+            "idle_w": self.total_idle_power_w(),
+            "budget_w": self.system_power_budget_w,
+        }

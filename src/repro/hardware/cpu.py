@@ -1,0 +1,320 @@
+"""Processor package model: P-states, uncore frequency, power, performance.
+
+A :class:`CpuPackage` is the unit on which the PowerStack's node-level
+knobs act: the node manager (or a job-level runtime through it) can pin a
+core frequency (P-state), pin an uncore frequency, and apply an RAPL-style
+package power cap.  Given a :class:`~repro.hardware.workload.PhaseDemand`
+the package computes how long the phase takes, how much power it draws
+and what the derived counters (IPC, FLOP/s) read — honouring whichever of
+the knob settings is most restrictive, exactly like firmware does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware import power_model as pm
+from repro.hardware.power_model import PowerModelParams
+from repro.hardware.thermal import ThermalModel, ThermalSpec
+from repro.hardware.variation import VariationDraw, VariationModel
+from repro.hardware.workload import PhaseDemand
+
+__all__ = ["PState", "CpuSpec", "PhaseExecution", "CpuPackage"]
+
+
+@dataclass(frozen=True)
+class PState:
+    """A discrete DVFS operating point."""
+
+    index: int
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a processor package SKU."""
+
+    model: str = "Xeon-SIM 8280"
+    cores: int = 28
+    freq_min_ghz: float = 1.0
+    freq_base_ghz: float = 2.4
+    freq_max_ghz: float = 3.6
+    freq_step_ghz: float = 0.1
+    uncore_min_ghz: float = 1.2
+    uncore_max_ghz: float = 2.4
+    tdp_w: float = 205.0
+    min_power_cap_w: float = 70.0
+    params: PowerModelParams = field(default_factory=PowerModelParams)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if not 0 < self.freq_min_ghz <= self.freq_base_ghz <= self.freq_max_ghz:
+            raise ValueError("require 0 < freq_min <= freq_base <= freq_max")
+        if self.freq_step_ghz <= 0:
+            raise ValueError("freq_step must be positive")
+        if not 0 < self.uncore_min_ghz <= self.uncore_max_ghz:
+            raise ValueError("require 0 < uncore_min <= uncore_max")
+        if self.tdp_w <= 0 or self.min_power_cap_w <= 0:
+            raise ValueError("tdp and min_power_cap must be positive")
+        if self.min_power_cap_w > self.tdp_w:
+            raise ValueError("min_power_cap must not exceed tdp")
+
+    def pstates(self) -> List[PState]:
+        """All discrete P-states, highest frequency first (P0, P1, ...)."""
+        freqs = np.arange(self.freq_max_ghz, self.freq_min_ghz - 1e-9, -self.freq_step_ghz)
+        freqs = np.round(freqs, 6)
+        if freqs[-1] > self.freq_min_ghz + 1e-9:
+            freqs = np.append(freqs, self.freq_min_ghz)
+        return [PState(index=i, frequency_ghz=float(f)) for i, f in enumerate(freqs)]
+
+
+@dataclass(frozen=True)
+class PhaseExecution:
+    """The outcome of running one phase on one package."""
+
+    demand: PhaseDemand
+    duration_s: float
+    power_w: float
+    energy_j: float
+    frequency_ghz: float
+    uncore_ghz: float
+    threads: int
+    ipc: float
+    flops: float
+    power_capped: bool
+    temperature_c: float
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.energy_j * self.duration_s
+
+    @property
+    def flops_per_watt(self) -> float:
+        return self.flops / self.power_w if self.power_w > 0 else 0.0
+
+    @property
+    def ipc_per_watt(self) -> float:
+        return self.ipc / self.power_w if self.power_w > 0 else 0.0
+
+
+class CpuPackage:
+    """Stateful processor package with DVFS, uncore and power-cap controls."""
+
+    def __init__(
+        self,
+        spec: CpuSpec | None = None,
+        variation: VariationDraw | None = None,
+        thermal_spec: ThermalSpec | None = None,
+        package_id: int = 0,
+    ):
+        self.spec = spec or CpuSpec()
+        self.variation = variation or VariationModel.nominal()
+        self.thermal = ThermalModel(thermal_spec)
+        self.package_id = package_id
+
+        self._pstates = self.spec.pstates()
+        # Achievable turbo is scaled by manufacturing variation.
+        self._max_freq = self.spec.freq_max_ghz * self.variation.max_turbo_scale
+        self._freq_target_ghz = self.spec.freq_base_ghz
+        self._uncore_ghz = self.spec.uncore_max_ghz
+        # Real packages ship with RAPL PL1 = TDP; "uncapping" a package
+        # therefore means resetting the limit to TDP, never to infinity.
+        self._power_cap_w: Optional[float] = self.spec.tdp_w
+        self._energy_j = 0.0
+        self._busy_seconds = 0.0
+
+    # -- properties ------------------------------------------------------
+    @property
+    def pstates(self) -> List[PState]:
+        return list(self._pstates)
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current frequency target (before power capping)."""
+        return self._freq_target_ghz
+
+    @property
+    def uncore_ghz(self) -> float:
+        return self._uncore_ghz
+
+    @property
+    def power_cap_w(self) -> Optional[float]:
+        return self._power_cap_w
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        """Maximum achievable frequency for this particular part."""
+        return self._max_freq
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy consumed by phases executed on this package."""
+        return self._energy_j
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy_seconds
+
+    # -- knob setters ----------------------------------------------------
+    def clamp_frequency(self, freq_ghz: float) -> float:
+        """Clamp a requested frequency to the nearest supported P-state."""
+        freq = float(np.clip(freq_ghz, self.spec.freq_min_ghz, self._max_freq))
+        freqs = np.array([p.frequency_ghz for p in self._pstates])
+        feasible = freqs[freqs <= freq + 1e-9]
+        if feasible.size == 0:
+            return float(freqs.min())
+        return float(feasible.max())
+
+    def set_frequency(self, freq_ghz: float) -> float:
+        """Request a core frequency; returns the granted P-state frequency."""
+        self._freq_target_ghz = self.clamp_frequency(freq_ghz)
+        return self._freq_target_ghz
+
+    def set_uncore_frequency(self, uncore_ghz: float) -> float:
+        """Request an uncore frequency; returns the granted value."""
+        self._uncore_ghz = float(
+            np.clip(uncore_ghz, self.spec.uncore_min_ghz, self.spec.uncore_max_ghz)
+        )
+        return self._uncore_ghz
+
+    def set_power_cap(self, watts: Optional[float]) -> Optional[float]:
+        """Apply a package power cap (``None`` resets to the TDP default)."""
+        if watts is None:
+            self._power_cap_w = self.spec.tdp_w
+            return self._power_cap_w
+        cap = float(np.clip(watts, self.spec.min_power_cap_w, self.spec.tdp_w))
+        self._power_cap_w = cap
+        return cap
+
+    # -- power / performance ---------------------------------------------
+    def power_at(
+        self,
+        demand: PhaseDemand,
+        freq_ghz: Optional[float] = None,
+        uncore_ghz: Optional[float] = None,
+        active_cores: Optional[int] = None,
+    ) -> float:
+        """Package + DRAM power for a demand at a hypothetical setting (W)."""
+        freq = self._freq_target_ghz if freq_ghz is None else freq_ghz
+        uncore = self._uncore_ghz if uncore_ghz is None else uncore_ghz
+        cores = self.spec.cores if active_cores is None else min(active_cores, self.spec.cores)
+        base = pm.package_power(
+            demand,
+            freq,
+            uncore,
+            cores,
+            self.spec.freq_min_ghz,
+            self._max_freq,
+            self.spec.uncore_min_ghz,
+            self.spec.uncore_max_ghz,
+            self.spec.params,
+            efficiency_multiplier=self.variation.power_efficiency,
+            temperature_c=self.thermal.temperature_c,
+        )
+        # Leakage variation applies to the static share only.
+        static_extra = (
+            pm.static_power(self.thermal.temperature_c, self.spec.params)
+            * (self.variation.leakage_scale - 1.0)
+        )
+        return base + static_extra
+
+    def idle_power_w(self) -> float:
+        """Power drawn when no phase is executing."""
+        idle_demand = PhaseDemand(
+            name="idle",
+            ref_seconds=1.0,
+            core_fraction=0.0,
+            memory_fraction=0.0,
+            comm_fraction=0.0,
+            activity_factor=0.05,
+            dram_intensity=0.02,
+        )
+        return self.power_at(idle_demand, freq_ghz=self.spec.freq_min_ghz, active_cores=0)
+
+    def effective_frequency(
+        self, demand: PhaseDemand, active_cores: Optional[int] = None
+    ) -> tuple[float, bool]:
+        """Frequency actually delivered for a demand, honouring the power cap.
+
+        Returns ``(frequency_ghz, was_capped)``.  Mirrors RAPL behaviour:
+        firmware walks down the P-states until the running-average power
+        fits under the cap (or the minimum P-state is reached).
+        """
+        target = self._freq_target_ghz
+        if self._power_cap_w is None:
+            return target, False
+        candidates = [p.frequency_ghz for p in self._pstates if p.frequency_ghz <= target + 1e-9]
+        if not candidates:
+            candidates = [self.spec.freq_min_ghz]
+        for freq in candidates:  # high to low
+            power = self.power_at(demand, freq_ghz=freq, active_cores=active_cores)
+            if power <= self._power_cap_w + 1e-9:
+                return freq, freq < target - 1e-9
+        return candidates[-1], True
+
+    def execute(
+        self,
+        demand: PhaseDemand,
+        threads: Optional[int] = None,
+        comm_seconds_override: Optional[float] = None,
+        ref_freq_ghz: Optional[float] = None,
+        ref_uncore_ghz: Optional[float] = None,
+    ) -> PhaseExecution:
+        """Execute a phase, accumulate energy, and return the outcome."""
+        threads = self.spec.cores if threads is None else int(threads)
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        threads = min(threads, self.spec.cores)
+
+        ref_freq = self.spec.freq_base_ghz if ref_freq_ghz is None else ref_freq_ghz
+        ref_uncore = self.spec.uncore_max_ghz if ref_uncore_ghz is None else ref_uncore_ghz
+
+        freq, capped = self.effective_frequency(demand, active_cores=threads)
+        duration = pm.phase_duration(
+            demand,
+            freq,
+            self._uncore_ghz,
+            threads,
+            ref_freq,
+            ref_uncore,
+            self.spec.params,
+            comm_seconds_override=comm_seconds_override,
+        )
+        power = self.power_at(demand, freq_ghz=freq, active_cores=threads)
+        if self._power_cap_w is not None:
+            power = min(power, max(self._power_cap_w, self.spec.min_power_cap_w))
+        energy = power * duration
+        ipc = pm.effective_ipc(demand, duration, freq, threads, ref_freq)
+        flops = pm.effective_flops(demand, duration)
+
+        self._energy_j += energy
+        self._busy_seconds += duration
+        temperature = self.thermal.advance(power, duration)
+
+        return PhaseExecution(
+            demand=demand,
+            duration_s=duration,
+            power_w=power,
+            energy_j=energy,
+            frequency_ghz=freq,
+            uncore_ghz=self._uncore_ghz,
+            threads=threads,
+            ipc=ipc,
+            flops=flops,
+            power_capped=capped,
+            temperature_c=temperature,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CpuPackage(id={self.package_id}, model={self.spec.model!r}, "
+            f"freq={self._freq_target_ghz:.2f}GHz, cap={self._power_cap_w})"
+        )

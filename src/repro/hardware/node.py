@@ -1,0 +1,289 @@
+"""Compute node model: sockets + DRAM + NIC + optional GPUs.
+
+The node is the unit the resource manager allocates and the unit the
+node-level power manager controls.  It aggregates one or more
+:class:`~repro.hardware.cpu.CpuPackage` objects behind a single
+node-level control surface (node power cap, node frequency, node uncore
+frequency) and a single RAPL interface, which is how SLURM, GEOPM and
+Conductor address nodes in the paper's use cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hardware.cpu import CpuPackage, CpuSpec, PhaseExecution
+from repro.hardware.gpu import GpuDevice, GpuSpec
+from repro.hardware.rapl import RaplInterface
+from repro.hardware.thermal import ThermalSpec
+from repro.hardware.variation import VariationDraw, VariationModel
+from repro.hardware.workload import PhaseDemand
+
+__all__ = ["NodeSpec", "NodePhaseResult", "Node"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a compute node."""
+
+    n_sockets: int = 2
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    n_gpus: int = 0
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    dram_gb: int = 192
+    nic_bandwidth_gbps: float = 100.0
+    nic_latency_us: float = 1.5
+    #: Power of fans, VRs, board, NIC — everything outside RAPL domains (W).
+    platform_power_w: float = 60.0
+    thermal: ThermalSpec = field(default_factory=ThermalSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ValueError("n_sockets must be >= 1")
+        if self.n_gpus < 0:
+            raise ValueError("n_gpus must be >= 0")
+        if self.dram_gb <= 0:
+            raise ValueError("dram_gb must be positive")
+        if self.nic_bandwidth_gbps <= 0 or self.nic_latency_us < 0:
+            raise ValueError("invalid NIC parameters")
+        if self.platform_power_w < 0:
+            raise ValueError("platform_power_w must be >= 0")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_sockets * self.cpu.cores
+
+    @property
+    def tdp_w(self) -> float:
+        """Nominal maximum node power (packages at TDP + GPUs + platform)."""
+        return (
+            self.n_sockets * self.cpu.tdp_w
+            + self.n_gpus * self.gpu.max_power_w
+            + self.platform_power_w
+        )
+
+    @property
+    def min_power_w(self) -> float:
+        """Lowest enforceable node power cap."""
+        return (
+            self.n_sockets * self.cpu.min_power_cap_w
+            + self.n_gpus * self.gpu.min_power_cap_w
+            + self.platform_power_w
+        )
+
+
+@dataclass(frozen=True)
+class NodePhaseResult:
+    """Aggregated outcome of running one phase across a node's sockets."""
+
+    duration_s: float
+    power_w: float
+    energy_j: float
+    frequency_ghz: float
+    ipc: float
+    flops: float
+    power_capped: bool
+    per_package: tuple[PhaseExecution, ...]
+
+    @property
+    def flops_per_watt(self) -> float:
+        return self.flops / self.power_w if self.power_w > 0 else 0.0
+
+    @property
+    def ipc_per_watt(self) -> float:
+        return self.ipc / self.power_w if self.power_w > 0 else 0.0
+
+
+class Node:
+    """A compute node with node-level power and frequency controls."""
+
+    def __init__(
+        self,
+        spec: NodeSpec | None = None,
+        hostname: str = "node0000",
+        node_id: int = 0,
+        variations: Optional[List[VariationDraw]] = None,
+        ambient_offset_c: float = 0.0,
+    ):
+        self.spec = spec or NodeSpec()
+        self.hostname = hostname
+        self.node_id = node_id
+
+        if variations is None:
+            variations = [VariationModel.nominal() for _ in range(self.spec.n_sockets)]
+        if len(variations) != self.spec.n_sockets:
+            raise ValueError("one variation draw per socket is required")
+
+        self.packages: List[CpuPackage] = [
+            CpuPackage(self.spec.cpu, variations[i], self.spec.thermal, package_id=i)
+            for i in range(self.spec.n_sockets)
+        ]
+        for pkg in self.packages:
+            pkg.thermal.ambient_offset_c = ambient_offset_c
+        self.gpus: List[GpuDevice] = [
+            GpuDevice(self.spec.gpu, device_id=i) for i in range(self.spec.n_gpus)
+        ]
+        self.rapl = RaplInterface.for_node(
+            self.spec.n_sockets,
+            self.spec.cpu.min_power_cap_w,
+            self.spec.cpu.tdp_w,
+        )
+
+        #: Job currently holding the node (None when free).
+        self.allocated_to: Optional[str] = None
+        #: Instantaneous power draw used by the cluster power meter (W).
+        self.current_power_w: float = self.idle_power_w()
+        #: Node power cap currently in force (None = uncapped).
+        self._node_power_cap_w: Optional[float] = None
+
+    # -- allocation -------------------------------------------------------
+    @property
+    def is_free(self) -> bool:
+        return self.allocated_to is None
+
+    def allocate(self, job_id: str) -> None:
+        if self.allocated_to is not None:
+            raise RuntimeError(
+                f"{self.hostname} already allocated to {self.allocated_to!r}"
+            )
+        self.allocated_to = job_id
+
+    def release(self) -> None:
+        self.allocated_to = None
+        self.current_power_w = self.idle_power_w()
+
+    # -- power / frequency controls ----------------------------------------
+    @property
+    def node_power_cap_w(self) -> Optional[float]:
+        return self._node_power_cap_w
+
+    def set_power_cap(self, node_watts: Optional[float]) -> Optional[float]:
+        """Apply a node-level power cap; returns the enforced value.
+
+        The platform share is subtracted and the remainder split evenly
+        across packages (GPUs get their proportional share when present).
+        """
+        if node_watts is None:
+            self._node_power_cap_w = None
+            for pkg in self.packages:
+                pkg.set_power_cap(None)
+            for gpu in self.gpus:
+                gpu.set_power_cap(None)
+            self.rapl.clear_all_limits()
+            return None
+
+        node_watts = max(float(node_watts), self.spec.min_power_w)
+        budget = node_watts - self.spec.platform_power_w
+        gpu_tdp = self.spec.n_gpus * self.spec.gpu.max_power_w
+        cpu_tdp = self.spec.n_sockets * self.spec.cpu.tdp_w
+        total_tdp = gpu_tdp + cpu_tdp
+        cpu_share = budget * (cpu_tdp / total_tdp) if total_tdp > 0 else budget
+        gpu_share = budget - cpu_share
+
+        applied = self.spec.platform_power_w
+        per_pkg = cpu_share / self.spec.n_sockets
+        for pkg in self.packages:
+            applied += pkg.set_power_cap(per_pkg) or 0.0
+        for i, gpu in enumerate(self.gpus):
+            applied += gpu.set_power_cap(gpu_share / self.spec.n_gpus) or 0.0
+        self.rapl.set_node_package_limit(cpu_share)
+        self._node_power_cap_w = node_watts
+        return node_watts
+
+    def set_frequency(self, freq_ghz: float) -> float:
+        """Set the core frequency target on every package; returns granted."""
+        granted = 0.0
+        for pkg in self.packages:
+            granted = pkg.set_frequency(freq_ghz)
+        return granted
+
+    def set_uncore_frequency(self, uncore_ghz: float) -> float:
+        granted = 0.0
+        for pkg in self.packages:
+            granted = pkg.set_uncore_frequency(uncore_ghz)
+        return granted
+
+    # -- power telemetry -----------------------------------------------------
+    def idle_power_w(self) -> float:
+        """Node power when idle (packages idle + GPUs idle + platform)."""
+        return (
+            sum(pkg.idle_power_w() for pkg in self.packages)
+            + sum(gpu.idle_power_w() for gpu in self.gpus)
+            + self.spec.platform_power_w
+        )
+
+    def max_power_w(self) -> float:
+        return self.spec.tdp_w
+
+    def total_energy_j(self) -> float:
+        """Energy consumed by compute so far (packages + GPUs)."""
+        return sum(pkg.energy_j for pkg in self.packages) + sum(
+            gpu.energy_j for gpu in self.gpus
+        )
+
+    def max_temperature_c(self) -> float:
+        return max(pkg.thermal.temperature_c for pkg in self.packages)
+
+    # -- execution -------------------------------------------------------------
+    def execute_phase(
+        self,
+        demand: PhaseDemand,
+        threads: Optional[int] = None,
+        comm_seconds_override: Optional[float] = None,
+    ) -> NodePhaseResult:
+        """Run a node-level phase across all sockets.
+
+        ``demand`` describes the whole node's share of the phase at the
+        node's reference operating point; the sockets work on it in
+        parallel, so the node-level duration is the slowest socket and the
+        node-level power is the sum plus the platform power.
+        """
+        threads = self.spec.total_cores if threads is None else int(threads)
+        threads = max(1, min(threads, self.spec.total_cores))
+        per_pkg_threads = max(1, threads // self.spec.n_sockets)
+
+        executions = [
+            pkg.execute(
+                demand,
+                threads=per_pkg_threads,
+                comm_seconds_override=comm_seconds_override,
+            )
+            for pkg in self.packages
+        ]
+        duration = max(e.duration_s for e in executions)
+        compute_power = sum(e.power_w for e in executions)
+        power = compute_power + self.spec.platform_power_w
+        energy = power * duration
+        ipc = sum(e.ipc for e in executions) / len(executions)
+        flops = sum(e.flops for e in executions)
+        capped = any(e.power_capped for e in executions)
+        freq = min(e.frequency_ghz for e in executions)
+
+        for execution, pkg in zip(executions, self.packages):
+            # Feed the RAPL energy counters so software-visible telemetry
+            # matches what was consumed.
+            self.rapl.domain(f"package-{pkg.package_id}").accumulate_energy(
+                execution.energy_j * 0.8
+            )
+            self.rapl.domain(f"dram-{pkg.package_id}").accumulate_energy(
+                execution.energy_j * 0.2
+            )
+
+        self.current_power_w = power
+        return NodePhaseResult(
+            duration_s=duration,
+            power_w=power,
+            energy_j=energy,
+            frequency_ghz=freq,
+            ipc=ipc,
+            flops=flops,
+            power_capped=capped,
+            per_package=tuple(executions),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.hostname!r}, sockets={self.spec.n_sockets}, "
+            f"cap={self._node_power_cap_w}, job={self.allocated_to!r})"
+        )

@@ -1,0 +1,91 @@
+"""First-order RC thermal model for processor packages.
+
+Thermal-constrained performance optimisation and thermal-aware node
+selection ("thermal hot spots", §2.1 and §3.1.1) need die temperatures
+that respond to power over time.  A single-pole RC model is sufficient to
+reproduce the qualitative behaviour: temperature rises toward
+``ambient + R * power`` with time constant ``R * C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ThermalSpec", "ThermalModel"]
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Thermal parameters of a package and its cooling solution."""
+
+    #: Thermal resistance junction-to-ambient (K/W).
+    resistance_k_per_w: float = 0.25
+    #: Thermal capacitance (J/K).
+    capacitance_j_per_k: float = 120.0
+    #: Ambient (inlet) temperature (degC).
+    ambient_c: float = 24.0
+    #: Throttling trip temperature (degC).
+    throttle_temp_c: float = 95.0
+    #: Critical shutdown temperature (degC).
+    critical_temp_c: float = 105.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_k_per_w <= 0 or self.capacitance_j_per_k <= 0:
+            raise ValueError("thermal resistance and capacitance must be positive")
+        if not self.ambient_c < self.throttle_temp_c < self.critical_temp_c:
+            raise ValueError("require ambient < throttle < critical temperatures")
+
+    @property
+    def time_constant_s(self) -> float:
+        return self.resistance_k_per_w * self.capacitance_j_per_k
+
+
+class ThermalModel:
+    """Tracks the die temperature of one package."""
+
+    def __init__(self, spec: ThermalSpec | None = None, ambient_offset_c: float = 0.0):
+        self.spec = spec or ThermalSpec()
+        #: Per-node ambient offset (models rack/row hot spots).
+        self.ambient_offset_c = float(ambient_offset_c)
+        self._temperature_c = self.ambient_c
+
+    @property
+    def ambient_c(self) -> float:
+        return self.spec.ambient_c + self.ambient_offset_c
+
+    @property
+    def temperature_c(self) -> float:
+        """Current die temperature (degC)."""
+        return self._temperature_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Temperature the die would settle at under constant power."""
+        if power_w < 0:
+            raise ValueError("power must be >= 0")
+        return self.ambient_c + self.spec.resistance_k_per_w * power_w
+
+    def advance(self, power_w: float, dt_s: float) -> float:
+        """Advance the model ``dt_s`` seconds at constant power; return temp."""
+        if dt_s < 0:
+            raise ValueError("dt must be >= 0")
+        if power_w < 0:
+            raise ValueError("power must be >= 0")
+        target = self.steady_state_c(power_w)
+        tau = self.spec.time_constant_s
+        alpha = 1.0 - float(np.exp(-dt_s / tau))
+        self._temperature_c += (target - self._temperature_c) * alpha
+        return self._temperature_c
+
+    def is_throttling(self) -> bool:
+        """True when the die is above the throttle trip point."""
+        return self._temperature_c >= self.spec.throttle_temp_c
+
+    def headroom_c(self) -> float:
+        """Degrees of margin below the throttle temperature."""
+        return self.spec.throttle_temp_c - self._temperature_c
+
+    def reset(self, temperature_c: float | None = None) -> None:
+        """Reset the die temperature (defaults to ambient)."""
+        self._temperature_c = self.ambient_c if temperature_c is None else float(temperature_c)

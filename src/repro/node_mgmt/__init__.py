@@ -1,0 +1,30 @@
+"""Node-level power management (the PowerStack's lowest software layer).
+
+Table 1's node-level row lists the controls this layer owns — power
+capping (RAPL), DVFS/P-states, uncore frequency, duty-cycle modulation —
+and Table 2 lists the tools that exercise them.  This subpackage
+implements that layer for the simulated hardware:
+
+* :class:`~repro.node_mgmt.dvfs.DvfsGovernor` — per-node frequency
+  governors (performance, powersave, ondemand-like adaptive, fixed).
+* :class:`~repro.node_mgmt.powercap.NodePowerCapManager` — enforces a
+  node power cap through RAPL and reports headroom.
+* :class:`~repro.node_mgmt.dutycycle.DutyCycleModulator` — T-state style
+  duty-cycle modulation used when even the lowest P-state is too hot.
+* :class:`~repro.node_mgmt.monitor.NodeMonitor` — the node daemon that
+  samples power/energy/temperature and feeds the upper layers.
+"""
+
+from repro.node_mgmt.dutycycle import DutyCycleModulator
+from repro.node_mgmt.dvfs import DvfsGovernor, GovernorPolicy
+from repro.node_mgmt.monitor import NodeMonitor, NodeSample
+from repro.node_mgmt.powercap import NodePowerCapManager
+
+__all__ = [
+    "DutyCycleModulator",
+    "DvfsGovernor",
+    "GovernorPolicy",
+    "NodeMonitor",
+    "NodePowerCapManager",
+    "NodeSample",
+]

@@ -1,0 +1,108 @@
+"""Node monitoring daemon: periodic power/energy/thermal sampling.
+
+Every layer above the node needs telemetry: the resource manager needs
+node power for the system budget, the job runtime needs per-node energy
+for its control loop, the site needs thermal outlier detection
+(§3.2.2 "systemwide characterization of frequency, power, and thermal
+variation across the system plus node outlier detection").  The
+:class:`NodeMonitor` is a DES process that samples a node at a fixed
+interval and appends to a shared time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.hardware.node import Node
+from repro.sim.engine import Environment, Interrupt
+from repro.telemetry.sampler import PowerTimeSeries
+
+__all__ = ["NodeSample", "NodeMonitor"]
+
+
+@dataclass(frozen=True)
+class NodeSample:
+    """One periodic node telemetry sample."""
+
+    time_s: float
+    hostname: str
+    power_w: float
+    energy_j: float
+    temperature_c: float
+    rapl_energy_j: float
+    allocated: bool
+
+
+class NodeMonitor:
+    """Samples one node at a fixed interval inside a DES environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        interval_s: float = 1.0,
+        callback: Optional[Callable[[NodeSample], None]] = None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.node = node
+        self.interval_s = float(interval_s)
+        self.callback = callback
+        self.samples: List[NodeSample] = []
+        self.power_series = PowerTimeSeries(node.hostname)
+        self._process = None
+        self._running = False
+
+    def start(self) -> None:
+        """Start the periodic sampling process."""
+        if self._running:
+            return
+        self._running = True
+        self._process = self.env.process(self._run())
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+        self._running = False
+
+    def sample_once(self) -> NodeSample:
+        """Take (and record) a single sample immediately."""
+        node = self.node
+        sample = NodeSample(
+            time_s=self.env.now,
+            hostname=node.hostname,
+            power_w=node.current_power_w if not node.is_free else node.idle_power_w(),
+            energy_j=node.total_energy_j(),
+            temperature_c=node.max_temperature_c(),
+            rapl_energy_j=sum(d.total_energy_j() for d in node.rapl.package_domains()),
+            allocated=not node.is_free,
+        )
+        self.samples.append(sample)
+        self.power_series.record(sample.time_s, sample.power_w)
+        if self.callback is not None:
+            self.callback(sample)
+        return sample
+
+    def _run(self):
+        try:
+            while self._running:
+                self.sample_once()
+                yield self.env.timeout(self.interval_s)
+        except Interrupt:
+            pass
+
+    # -- analysis helpers --------------------------------------------------
+    def average_power_w(self) -> float:
+        return self.power_series.mean_power_w() if len(self.power_series) else 0.0
+
+    def peak_power_w(self) -> float:
+        return self.power_series.max_power_w()
+
+    def utilization(self) -> float:
+        """Fraction of samples during which the node was allocated."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s.allocated) / len(self.samples)

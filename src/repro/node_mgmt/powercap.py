@@ -1,0 +1,88 @@
+"""Node-level power cap enforcement and headroom reporting.
+
+The node power manager is the layer that turns a job- or system-level
+power budget into RAPL limits, and that answers "how much of my budget am
+I actually using?" — the headroom question the power-balancing runtimes
+(Conductor, GEOPM power balancer) and the resource manager's power pool
+both depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.node import Node
+from repro.hardware.workload import PhaseDemand
+
+__all__ = ["PowerCapStatus", "NodePowerCapManager"]
+
+
+@dataclass(frozen=True)
+class PowerCapStatus:
+    """Snapshot of a node's power-cap state."""
+
+    cap_w: Optional[float]
+    measured_w: float
+    headroom_w: float
+    capped: bool
+
+
+class NodePowerCapManager:
+    """Enforces a node power cap and tracks measured power against it."""
+
+    def __init__(self, node: Node, min_cap_w: Optional[float] = None):
+        self.node = node
+        self.min_cap_w = float(min_cap_w) if min_cap_w is not None else node.spec.min_power_w
+        self._cap_w: Optional[float] = None
+        self._last_measured_w: float = node.idle_power_w()
+
+    @property
+    def cap_w(self) -> Optional[float]:
+        return self._cap_w
+
+    @property
+    def max_cap_w(self) -> float:
+        return self.node.max_power_w()
+
+    def set_cap(self, watts: Optional[float]) -> Optional[float]:
+        """Apply a node power cap (clamped to the enforceable range)."""
+        if watts is None:
+            self._cap_w = None
+            self.node.set_power_cap(None)
+            return None
+        watts = min(max(float(watts), self.min_cap_w), self.max_cap_w)
+        self._cap_w = self.node.set_power_cap(watts)
+        return self._cap_w
+
+    def observe(self, measured_w: float) -> None:
+        """Record the latest measured node power (from the monitor)."""
+        if measured_w < 0:
+            raise ValueError("measured power must be >= 0")
+        self._last_measured_w = float(measured_w)
+
+    def status(self) -> PowerCapStatus:
+        cap = self._cap_w
+        measured = self._last_measured_w
+        if cap is None:
+            return PowerCapStatus(None, measured, float("inf"), False)
+        return PowerCapStatus(cap, measured, max(0.0, cap - measured), measured >= cap * 0.98)
+
+    def headroom_w(self) -> float:
+        """Unused watts under the current cap (inf when uncapped)."""
+        return self.status().headroom_w
+
+    def estimated_uncapped_power_w(self, demand: PhaseDemand) -> float:
+        """What the node would draw for a demand with no cap in force.
+
+        Used by power-balancing runtimes to decide how much budget a node
+        *wants* before distributing the job-level budget.
+        """
+        total = self.node.spec.platform_power_w
+        for pkg in self.node.packages:
+            total += pkg.power_at(demand, freq_ghz=pkg.frequency_ghz)
+        return total
+
+    def minimum_useful_cap_w(self) -> float:
+        """The cap below which the node cannot go without duty cycling."""
+        return self.min_cap_w

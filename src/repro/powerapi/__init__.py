@@ -1,0 +1,47 @@
+"""Standardised power monitoring/control interfaces (PowerAPI, IPMI, Redfish).
+
+The paper's introduction names three interface specifications that
+"provide high-level power management interfaces for accessing power
+knobs": the Sandia **Power API** [14][15], **IPMI** [17] and DMTF
+**Redfish** [8].  The PowerStack's whole premise is that the layers talk
+to the hardware (and to each other) through such standardised surfaces
+rather than through tool-specific back doors, so this package provides
+the in-band and out-of-band interface analogues that the rest of the
+stack can be wired through:
+
+* :mod:`repro.powerapi.objects` — the Power API object hierarchy
+  (platform → node → socket → core / memory / accelerator), typed
+  attributes (power, energy, frequency, limits, temperature) and groups;
+* :mod:`repro.powerapi.roles` — Power API roles (application, monitor,
+  operating system, resource manager, administrator) and the
+  read/write permission matrix each role gets;
+* :mod:`repro.powerapi.context` — the entry point: build a navigable
+  object tree for a :class:`~repro.hardware.cluster.Cluster` or a single
+  node, enforce role permissions, and perform attribute get/set;
+* :mod:`repro.powerapi.bmc` — an out-of-band IPMI/Redfish-style
+  baseboard-management-controller endpoint per node: quantised sensor
+  readings, chassis power metrics with averaging intervals, power-limit
+  actions, and a Redfish-like resource-tree export.
+
+Everything here is a thin, well-specified facade over
+:mod:`repro.hardware`; no tuning logic lives in this package.
+"""
+
+from repro.powerapi.bmc import BmcEndpoint, RedfishService, SensorReading
+from repro.powerapi.context import PowerApiContext, PowerApiError
+from repro.powerapi.objects import AttrName, ObjType, PowerObject, PowerGroup
+from repro.powerapi.roles import Role, RolePermissions
+
+__all__ = [
+    "AttrName",
+    "BmcEndpoint",
+    "ObjType",
+    "PowerApiContext",
+    "PowerApiError",
+    "PowerGroup",
+    "PowerObject",
+    "RedfishService",
+    "Role",
+    "RolePermissions",
+    "SensorReading",
+]

@@ -1,0 +1,48 @@
+"""System-level resource management (the PowerStack's top software layer).
+
+Table 2's system level lists SLURM-style resource managers and power-
+aware schedulers; the use cases add the Invasive Resource Manager (IRM)
+for power-corridor management.  This subpackage implements that layer
+against the simulated cluster:
+
+* :mod:`repro.resource_manager.job` — job state machine and accounting.
+* :mod:`repro.resource_manager.queue` — FCFS queue with EASY backfill.
+* :mod:`repro.resource_manager.policies` — site policies: system power
+  budget, power corridor, job power-budget policies, GEOPM policy modes.
+* :mod:`repro.resource_manager.slurm` — the power-aware scheduler
+  (node selection, job power budgets, launch, telemetry).
+* :mod:`repro.resource_manager.irm` — the invasive RM: corridor
+  enforcement through dynamic resource redistribution of malleable jobs
+  (plus the baseline strategies the paper lists: job cancellation, idle
+  node shutdown, power capping, DVFS).
+* :mod:`repro.resource_manager.overprovisioning` — §4.3's hardware
+  overprovisioning study: which nodes to power, at what cap, under a
+  cluster-level power bound.
+"""
+
+from repro.resource_manager.irm import CorridorStrategy, InvasiveResourceManager
+from repro.resource_manager.job import Job, JobState
+from repro.resource_manager.overprovisioning import (
+    OverprovisionEvaluation,
+    OverprovisioningPlanner,
+    PoweredPartition,
+)
+from repro.resource_manager.policies import JobPowerPolicy, SitePolicies
+from repro.resource_manager.queue import JobQueue
+from repro.resource_manager.slurm import PowerAwareScheduler, SchedulerConfig, SchedulerStats
+
+__all__ = [
+    "CorridorStrategy",
+    "InvasiveResourceManager",
+    "Job",
+    "JobPowerPolicy",
+    "JobQueue",
+    "JobState",
+    "OverprovisionEvaluation",
+    "OverprovisioningPlanner",
+    "PowerAwareScheduler",
+    "PoweredPartition",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "SitePolicies",
+]

@@ -1,0 +1,342 @@
+"""Invasive Resource Manager: power-corridor management (use case 5, Figure 6).
+
+§3.2.5 describes a "proactive power corridor management strategy ...
+comprising an Invasive Resource Manager (IRM) and Invasive MPI": the
+power usage of running applications is predicted, and if a corridor
+violation is predicted the IRM formulates a resource-redistribution
+heuristic — growing or shrinking malleable (EPOP) jobs — to bring the
+system back inside the corridor.  The traditional (reactive) strategies
+the paper lists — job cancellation, idle node shutdown, power capping,
+DVFS — are implemented as baselines so the benefit of the invasive
+strategy can be quantified (Figure 6 / the fig6 benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.hardware.node import Node
+from repro.resource_manager.job import Job, JobState
+from repro.resource_manager.slurm import PowerAwareScheduler, SchedulerConfig
+from repro.runtime.epop import EpopRuntime
+
+__all__ = ["CorridorStrategy", "CorridorEvent", "InvasiveResourceManager"]
+
+
+class CorridorStrategy(str, Enum):
+    """How the RM reacts to a (predicted) power-corridor violation."""
+
+    #: Do nothing — the uncontrolled baseline.
+    NONE = "none"
+    #: Cancel the youngest job on an upper-bound violation.
+    JOB_CANCELLATION = "job_cancellation"
+    #: Power down idle nodes (upper violations only reduce idle draw).
+    IDLE_SHUTDOWN = "idle_shutdown"
+    #: Tighten/relax per-job power caps.
+    POWER_CAPPING = "power_capping"
+    #: Lower/raise the frequency of allocated nodes.
+    DVFS = "dvfs"
+    #: Invasive: grow/shrink malleable jobs by redistributing nodes.
+    INVASIVE = "invasive"
+
+
+@dataclass
+class CorridorEvent:
+    """One control action taken by the corridor manager."""
+
+    time_s: float
+    predicted_power_w: float
+    action: str
+    job_id: Optional[str] = None
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class InvasiveResourceManager(PowerAwareScheduler):
+    """Power-corridor-aware scheduler with dynamic resource redistribution."""
+
+    def __init__(
+        self,
+        env,
+        cluster,
+        policies=None,
+        config: Optional[SchedulerConfig] = None,
+        streams=None,
+        strategy: CorridorStrategy = CorridorStrategy.INVASIVE,
+        control_interval_s: float = 30.0,
+        prediction_margin: float = 0.03,
+    ):
+        super().__init__(env, cluster, policies, config, streams)
+        if control_interval_s <= 0:
+            raise ValueError("control_interval_s must be positive")
+        if prediction_margin < 0:
+            raise ValueError("prediction_margin must be >= 0")
+        self.strategy = strategy
+        self.control_interval_s = float(control_interval_s)
+        self.prediction_margin = float(prediction_margin)
+        self.events: List[CorridorEvent] = []
+        self._corridor_started = False
+        self._shutdown_nodes: List[Node] = []
+
+    # -- EPOP integration -------------------------------------------------------------
+    def _default_runtime(self, job: Job, budget_w: Optional[float]):
+        """Malleable jobs get an EPOP runtime; rigid jobs fall back to GEOPM."""
+        if job.request.malleable:
+            runtime = EpopRuntime(elastic=True, power_budget_w=budget_w)
+            job.launch_metadata = {"runtime": "epop", "power_budget_w": budget_w}
+            return runtime
+        return super()._default_runtime(job, budget_w)
+
+    def epop_jobs(self) -> Dict[str, EpopRuntime]:
+        """Running malleable jobs and their EPOP runtime handles."""
+        out: Dict[str, EpopRuntime] = {}
+        for job_id, job in self.running.items():
+            handle = self.runtime_handles.get(job_id)
+            if isinstance(handle, EpopRuntime) and job.state is JobState.RUNNING:
+                out[job_id] = handle
+        return out
+
+    # -- corridor control loop -----------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        if not self._corridor_started and self.strategy is not CorridorStrategy.NONE:
+            self._corridor_started = True
+            self.env.process(self._corridor_loop())
+
+    def _corridor_loop(self):
+        while True:
+            self._enforce_corridor()
+            yield self.env.timeout(self.control_interval_s)
+
+    def predicted_power_w(self) -> float:
+        """Predicted system power for the next control interval.
+
+        EPOP jobs report an empirical prediction; rigid jobs are assumed
+        to keep drawing their current power; idle nodes draw idle power
+        (unless shut down).
+        """
+        total = 0.0
+        predicted_hosts: set = set()
+        for runtime in self.epop_jobs().values():
+            total += runtime.predicted_power_w()
+            predicted_hosts.update(n.hostname for n in runtime.current_nodes)
+        for node in self.cluster.nodes:
+            if node.hostname in predicted_hosts:
+                continue
+            if node in self._shutdown_nodes:
+                continue
+            if node.is_free:
+                total += node.idle_power_w()
+            else:
+                total += node.current_power_w
+        return total * (1.0 + self.prediction_margin)
+
+    # -- enforcement strategies --------------------------------------------------------------
+    def _enforce_corridor(self) -> None:
+        lower = self.policies.corridor_lower_w
+        upper = self.policies.corridor_upper_w
+        if lower is None and upper is None:
+            return
+        predicted = self.predicted_power_w()
+        if upper is not None and predicted > upper:
+            self._handle_upper_violation(predicted, upper)
+        elif lower is not None and predicted < lower:
+            self._handle_lower_violation(predicted, lower)
+
+    def _log(self, action: str, predicted: float, job_id: Optional[str] = None, **detail: float) -> None:
+        self.events.append(
+            CorridorEvent(
+                time_s=self.env.now,
+                predicted_power_w=predicted,
+                action=action,
+                job_id=job_id,
+                detail=dict(detail),
+            )
+        )
+
+    def _handle_upper_violation(self, predicted: float, upper: float) -> None:
+        excess = predicted - upper
+        if self.strategy is CorridorStrategy.INVASIVE:
+            self._shrink_malleable(excess, predicted)
+        elif self.strategy is CorridorStrategy.POWER_CAPPING:
+            self._tighten_caps(excess, predicted)
+        elif self.strategy is CorridorStrategy.DVFS:
+            self._apply_dvfs(predicted, lower=False)
+        elif self.strategy is CorridorStrategy.IDLE_SHUTDOWN:
+            self._shutdown_idle(predicted)
+        elif self.strategy is CorridorStrategy.JOB_CANCELLATION:
+            self._cancel_youngest(predicted)
+
+    def _handle_lower_violation(self, predicted: float, lower: float) -> None:
+        deficit = lower - predicted
+        if self.strategy is CorridorStrategy.INVASIVE:
+            self._expand_malleable(deficit, predicted)
+        elif self.strategy is CorridorStrategy.POWER_CAPPING:
+            self._relax_caps(predicted)
+        elif self.strategy is CorridorStrategy.DVFS:
+            self._apply_dvfs(predicted, lower=True)
+        elif self.strategy is CorridorStrategy.IDLE_SHUTDOWN:
+            self._power_up_nodes(predicted)
+        # Job cancellation cannot fix a lower-bound violation.
+
+    # invasive ------------------------------------------------------------------------
+    def _shrink_malleable(self, excess_w: float, predicted: float) -> None:
+        epop = self.epop_jobs()
+        if not epop:
+            self._tighten_caps(excess_w, predicted)
+            return
+        # Shrink the job with the most nodes first.
+        job_id, runtime = max(epop.items(), key=lambda kv: len(kv[1].current_nodes))
+        nodes = runtime.current_nodes
+        per_node_w = runtime.measured_power_w / max(len(nodes), 1)
+        if per_node_w <= 0:
+            per_node_w = nodes[0].idle_power_w() if nodes else 1.0
+        to_remove = max(1, int(round(excess_w / max(per_node_w, 1.0))))
+        target = len(nodes) - to_remove
+        candidates = [
+            c for c in range(max(1, target), len(nodes)) if runtime.can_resize_to(c)
+        ]
+        if not candidates:
+            self._log("shrink_blocked", predicted, job_id=job_id)
+            return
+        new_count = max(candidates[0], 1)
+        keep = nodes[:new_count]
+        if runtime.request_resize(keep):
+            self._log(
+                "shrink", predicted, job_id=job_id,
+                nodes_before=float(len(nodes)), nodes_after=float(new_count),
+            )
+
+    def _expand_malleable(self, deficit_w: float, predicted: float) -> None:
+        epop = self.epop_jobs()
+        free = self.cluster.free_nodes()
+        free = [n for n in free if n not in self._shutdown_nodes]
+        if not epop or not free:
+            return
+        job_id, runtime = min(epop.items(), key=lambda kv: len(kv[1].current_nodes))
+        nodes = runtime.current_nodes
+        per_node_w = runtime.measured_power_w / max(len(nodes), 1)
+        if per_node_w <= 0:
+            per_node_w = nodes[0].idle_power_w() if nodes else 1.0
+        to_add = max(1, int(round(deficit_w / max(per_node_w, 1.0))))
+        candidates = [
+            c
+            for c in range(len(nodes) + 1, len(nodes) + min(to_add, len(free)) + 1)
+            if runtime.can_resize_to(c)
+        ]
+        if not candidates:
+            self._log("expand_blocked", predicted, job_id=job_id)
+            return
+        new_count = candidates[-1]
+        new_nodes = nodes + free[: new_count - len(nodes)]
+        # The RM reassigns ownership of the added nodes to the job.
+        for node in new_nodes[len(nodes):]:
+            node.allocate(job_id)
+        if runtime.request_resize(new_nodes):
+            self._log(
+                "expand", predicted, job_id=job_id,
+                nodes_before=float(len(nodes)), nodes_after=float(new_count),
+            )
+        else:  # give the nodes back if the runtime refused
+            for node in new_nodes[len(nodes):]:
+                node.release()
+
+    # baselines -----------------------------------------------------------------------
+    def _tighten_caps(self, excess_w: float, predicted: float) -> None:
+        running = list(self.running.values())
+        if not running:
+            return
+        per_job = excess_w / len(running)
+        for job in running:
+            if not job.assigned_nodes:
+                continue
+            current = job.power_budget_w or sum(n.max_power_w() for n in job.assigned_nodes)
+            new_budget = max(
+                len(job.assigned_nodes) * job.assigned_nodes[0].spec.min_power_w,
+                current - per_job,
+            )
+            job.power_budget_w = new_budget
+            share = new_budget / len(job.assigned_nodes)
+            for node in job.assigned_nodes:
+                node.set_power_cap(share)
+        self._log("tighten_caps", predicted, excess_w=excess_w)
+
+    def _relax_caps(self, predicted: float) -> None:
+        for job in self.running.values():
+            for node in job.assigned_nodes:
+                node.set_power_cap(None)
+        self._log("relax_caps", predicted)
+
+    def _apply_dvfs(self, predicted: float, lower: bool) -> None:
+        for job in self.running.values():
+            for node in job.assigned_nodes:
+                spec = node.spec.cpu
+                current = node.packages[0].frequency_ghz
+                step = spec.freq_step_ghz * 2
+                node.set_frequency(current + step if lower else current - step)
+        self._log("dvfs_up" if lower else "dvfs_down", predicted)
+
+    def _shutdown_idle(self, predicted: float) -> None:
+        idle = [n for n in self.cluster.free_nodes() if n not in self._shutdown_nodes]
+        for node in idle:
+            self._shutdown_nodes.append(node)
+        if idle:
+            self._log("idle_shutdown", predicted, nodes=float(len(idle)))
+
+    def _power_up_nodes(self, predicted: float) -> None:
+        if self._shutdown_nodes:
+            count = len(self._shutdown_nodes)
+            self._shutdown_nodes.clear()
+            self._log("power_up", predicted, nodes=float(count))
+
+    def _cancel_youngest(self, predicted: float) -> None:
+        running = [j for j in self.running.values() if j.state is JobState.RUNNING]
+        if not running:
+            return
+        youngest = max(running, key=lambda j: j.start_time_s or 0.0)
+        self.cancel(youngest.job_id)
+        self._log("cancel", predicted, job_id=youngest.job_id)
+
+    # -- telemetry override: shut-down nodes draw (almost) nothing --------------------------
+    def _sample_power(self) -> None:
+        now = self.env.now
+        busy = len(self.cluster.allocated_nodes())
+        dt = now - self._last_utilization_sample_s
+        if dt > 0:
+            self._busy_node_seconds += busy * dt
+            self._last_utilization_sample_s = now
+        power = 0.0
+        for node in self.cluster.nodes:
+            if node in self._shutdown_nodes and node.is_free:
+                power += 5.0  # BMC stays on
+            elif node.is_free:
+                power += node.idle_power_w()
+            else:
+                power += node.current_power_w
+        self.power_series.record(now, power)
+
+    # -- reporting ---------------------------------------------------------------------------
+    def corridor_report(self) -> Dict[str, float]:
+        stats = {
+            "events": float(len(self.events)),
+            "shrinks": float(sum(1 for e in self.events if e.action == "shrink")),
+            "expands": float(sum(1 for e in self.events if e.action == "expand")),
+            "cancels": float(sum(1 for e in self.events if e.action == "cancel")),
+        }
+        if self.policies.corridor_upper_w is not None:
+            corridor = self.power_series.corridor_stats(
+                self.policies.corridor_upper_w,
+                self.policies.corridor_lower_w or 0.0,
+                window_s=self.policies.averaging_window_s,
+            )
+            stats.update(
+                {
+                    "violation_fraction": corridor.violation_fraction,
+                    "above_upper": float(corridor.above_upper),
+                    "below_lower": float(corridor.below_lower),
+                    "mean_power_w": corridor.mean_power_w,
+                    "max_power_w": corridor.max_power_w,
+                }
+            )
+        return stats

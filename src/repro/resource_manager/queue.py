@@ -1,0 +1,70 @@
+"""Job queue with FCFS ordering and EASY-backfill candidate selection.
+
+"Which job to run (or backfill) from the job queue" is one of the static
+RM/runtime interactions listed in §3.1.1.  The queue keeps submission
+order; the scheduler asks it for the head job and — when the head cannot
+start — for backfill candidates that will not delay the head's reserved
+start time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.resource_manager.job import Job, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """FCFS queue of pending jobs with backfill support."""
+
+    def __init__(self) -> None:
+        self._jobs: List[Job] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(list(self._jobs))
+
+    def push(self, job: Job) -> None:
+        if job.state is not JobState.PENDING:
+            raise ValueError(f"only pending jobs can be queued (got {job.state})")
+        self._jobs.append(job)
+
+    def remove(self, job: Job) -> None:
+        self._jobs.remove(job)
+
+    def head(self) -> Optional[Job]:
+        """The job FCFS says must start next (None if the queue is empty)."""
+        return self._jobs[0] if self._jobs else None
+
+    def pending(self) -> List[Job]:
+        return list(self._jobs)
+
+    def backfill_candidates(
+        self,
+        now_s: float,
+        shadow_time_s: float,
+        fits: Callable[[Job], bool],
+    ) -> List[Job]:
+        """Jobs (excluding the head) that may be backfilled.
+
+        EASY backfill rule: a candidate may start now if it fits in the
+        currently free resources *and* its estimated completion
+        (``now + walltime_estimate``) does not exceed the head job's
+        reserved start time (``shadow_time_s``).  ``fits`` encapsulates
+        the resource/power check, which only the scheduler can do.
+        """
+        if shadow_time_s < now_s:
+            return []
+        candidates: List[Job] = []
+        for job in self._jobs[1:]:
+            estimate = job.request.walltime_estimate_s
+            if now_s + estimate <= shadow_time_s and fits(job):
+                candidates.append(job)
+        return candidates
+
+    def jobs_by_user(self, user: str) -> List[Job]:
+        return [j for j in self._jobs if j.request.user == user]

@@ -1,0 +1,444 @@
+"""Power-aware resource manager / job scheduler (SLURM analogue).
+
+Implements the system layer of the PowerStack: a FCFS + EASY-backfill
+scheduler that is *power aware* in the three ways the paper's use cases
+need:
+
+* **system power budget** — the sum of the per-job power budgets never
+  exceeds the site's schedulable power (§3.2.2's contractual limits);
+* **power-aware node selection** — under a power cap, processors with
+  better manufacturing variation sustain higher frequency, so the
+  scheduler hands the most efficient (or coolest) free nodes to each job
+  (§3.1.1);
+* **job-level power budgets and launch policies** — each launch derives
+  a job budget from the site policy and attaches a job-level runtime
+  (GEOPM by default) configured with that budget (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.generator import JobRequest
+from repro.apps.mpi import MpiJobSimulator, RuntimeHooks
+from repro.hardware.cluster import Cluster
+from repro.hardware.node import Node
+from repro.resource_manager.job import Job, JobState
+from repro.resource_manager.policies import (
+    GeopmPolicyMode,
+    JobPowerPolicy,
+    PolicyAssigner,
+    SitePolicies,
+)
+from repro.resource_manager.queue import JobQueue
+from repro.runtime.base import JobRuntime
+from repro.runtime.geopm import GeopmEndpoint, GeopmRuntime
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.telemetry.sampler import PowerTimeSeries
+
+__all__ = ["SchedulerConfig", "SchedulerStats", "PowerAwareScheduler"]
+
+#: Signature of a runtime factory: (job, power_budget_w, scheduler) -> hooks.
+RuntimeFactory = Callable[[Job, Optional[float], "PowerAwareScheduler"], RuntimeHooks]
+
+
+@dataclass
+class SchedulerConfig:
+    """Tunable configuration of the scheduler (its Table 1 parameters)."""
+
+    scheduling_interval_s: float = 10.0
+    monitor_interval_s: float = 5.0
+    power_aware_node_selection: bool = True
+    thermal_aware_node_selection: bool = False
+    backfill: bool = True
+    #: Per-job static imbalance passed to the job simulator.
+    static_imbalance: float = 0.08
+    imbalance_sigma: float = 0.03
+    #: Optional cap on how long the scheduler keeps scheduling (safety net).
+    max_simulated_time_s: Optional[float] = None
+    runtime_factory: Optional[RuntimeFactory] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduling_interval_s <= 0 or self.monitor_interval_s <= 0:
+            raise ValueError("intervals must be positive")
+        if self.static_imbalance < 0 or self.imbalance_sigma < 0:
+            raise ValueError("imbalance parameters must be >= 0")
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate statistics after (or during) a scheduling run."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_cancelled: int = 0
+    makespan_s: float = 0.0
+    mean_wait_s: float = 0.0
+    mean_turnaround_s: float = 0.0
+    throughput_jobs_per_hour: float = 0.0
+    node_utilization: float = 0.0
+    total_energy_j: float = 0.0
+    mean_system_power_w: float = 0.0
+    peak_system_power_w: float = 0.0
+    committed_power_w: float = 0.0
+    backfilled_jobs: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "jobs_submitted": float(self.jobs_submitted),
+            "jobs_completed": float(self.jobs_completed),
+            "jobs_cancelled": float(self.jobs_cancelled),
+            "makespan_s": self.makespan_s,
+            "mean_wait_s": self.mean_wait_s,
+            "mean_turnaround_s": self.mean_turnaround_s,
+            "throughput_jobs_per_hour": self.throughput_jobs_per_hour,
+            "node_utilization": self.node_utilization,
+            "total_energy_j": self.total_energy_j,
+            "mean_system_power_w": self.mean_system_power_w,
+            "peak_system_power_w": self.peak_system_power_w,
+            "committed_power_w": self.committed_power_w,
+            "backfilled_jobs": float(self.backfilled_jobs),
+        }
+
+
+class PowerAwareScheduler:
+    """FCFS + backfill scheduler with system power budgeting."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        policies: Optional[SitePolicies] = None,
+        config: Optional[SchedulerConfig] = None,
+        streams: Optional[RandomStreams] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.policies = policies or SitePolicies(
+            system_power_budget_w=cluster.system_power_budget_w
+        )
+        self.config = config or SchedulerConfig()
+        self.streams = streams or RandomStreams(0)
+        self.policy_assigner = PolicyAssigner(self.policies)
+
+        self.queue = JobQueue()
+        self.jobs: Dict[str, Job] = {}
+        self.running: Dict[str, Job] = {}
+        self.completed: List[Job] = []
+        self.runtime_handles: Dict[str, RuntimeHooks] = {}
+        self.endpoints: Dict[str, GeopmEndpoint] = {}
+        self.power_series = PowerTimeSeries("system")
+        self.backfilled_jobs = 0
+
+        self._committed_power_w = 0.0
+        self._busy_node_seconds = 0.0
+        self._last_utilization_sample_s = env.now
+        self._started = False
+        self._sims: Dict[str, MpiJobSimulator] = {}
+        self._expected_submissions = 0
+
+    # -- public API ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Submit a job now; scheduling is attempted immediately."""
+        if request.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {request.job_id!r}")
+        job = Job(request=request, submit_time_s=self.env.now)
+        self.jobs[request.job_id] = job
+        self.queue.push(job)
+        self._schedule()
+        return job
+
+    def submit_trace(self, requests: Sequence[JobRequest]) -> None:
+        """Submit a whole trace, honouring each request's arrival time."""
+        self._expected_submissions += len(requests)
+        self.env.process(self._arrival_process(list(requests)))
+
+    def start(self) -> None:
+        """Start the periodic scheduling and power-monitoring processes."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._scheduler_loop())
+        self.env.process(self._monitor_loop())
+
+    def run_until_complete(self, extra_time_s: float = 0.0) -> "SchedulerStats":
+        """Convenience driver: run the DES until all submitted jobs finished."""
+        self.start()
+        guard = 0
+        while (
+            len(self.jobs) < self._expected_submissions
+            or any(j.is_active for j in self.jobs.values())
+        ):
+            horizon = self.env.peek()
+            if horizon == float("inf"):
+                break
+            self.env.run(until=horizon)
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover - runaway guard
+                raise RuntimeError("scheduler did not converge")
+        if extra_time_s > 0:
+            self.env.run(until=self.env.now + extra_time_s)
+        return self.stats()
+
+    # -- DES processes ------------------------------------------------------------------
+    def _arrival_process(self, requests: List[JobRequest]):
+        requests = sorted(requests, key=lambda r: r.arrival_time_s)
+        for request in requests:
+            delay = max(0.0, request.arrival_time_s - self.env.now)
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.submit(request)
+
+    def _scheduler_loop(self):
+        while True:
+            if (
+                self.config.max_simulated_time_s is not None
+                and self.env.now > self.config.max_simulated_time_s
+            ):
+                return
+            self._schedule()
+            yield self.env.timeout(self.config.scheduling_interval_s)
+
+    def _monitor_loop(self):
+        while True:
+            self._sample_power()
+            yield self.env.timeout(self.config.monitor_interval_s)
+
+    def _sample_power(self) -> None:
+        now = self.env.now
+        busy = len(self.cluster.allocated_nodes())
+        dt = now - self._last_utilization_sample_s
+        if dt > 0:
+            self._busy_node_seconds += busy * dt
+            self._last_utilization_sample_s = now
+        self.power_series.record(now, self.cluster.instantaneous_power_w())
+
+    # -- power accounting ------------------------------------------------------------------
+    @property
+    def committed_power_w(self) -> float:
+        """Power currently committed to running jobs (their budgets)."""
+        return self._committed_power_w
+
+    def _commitment_for(self, nodes: Sequence[Node], budget_w: Optional[float]) -> float:
+        if budget_w is not None:
+            return budget_w
+        return sum(n.max_power_w() for n in nodes)
+
+    # -- scheduling core ----------------------------------------------------------------------
+    def _select_nodes(self, count: int) -> Optional[List[Node]]:
+        free = self.cluster.free_nodes()
+        if len(free) < count:
+            return None
+        if self.config.thermal_aware_node_selection:
+            ranked = self.cluster.rank_nodes_by_temperature(free)
+        elif self.config.power_aware_node_selection:
+            ranked = self.cluster.rank_nodes_by_efficiency(free)
+        else:
+            ranked = free
+        return ranked[:count]
+
+    def _choose_node_count(self, job: Job, free_count: int) -> Optional[int]:
+        """Node count to start the job with (moldable jobs shrink to fit)."""
+        acceptable = job.request.acceptable_node_counts()
+        if not acceptable:
+            return None
+        fitting = [n for n in acceptable if n <= free_count]
+        if not fitting:
+            return None
+        preferred = job.request.nodes_requested
+        if preferred in fitting:
+            return preferred
+        return max(fitting)
+
+    def _power_feasible(self, nodes: Sequence[Node], budget_w: Optional[float]) -> bool:
+        commitment = self._commitment_for(nodes, budget_w)
+        return (
+            self._committed_power_w + commitment
+            <= self.policies.schedulable_power_w + 1e-6
+        )
+
+    def _try_start(self, job: Job, backfill: bool = False) -> bool:
+        free = self.cluster.free_nodes()
+        count = self._choose_node_count(job, len(free))
+        if count is None:
+            return False
+        nodes = self._select_nodes(count)
+        if nodes is None:
+            return False
+        budget = self.policies.job_budget_w(
+            job_nodes=count,
+            total_nodes=len(self.cluster),
+            committed_power_w=self._committed_power_w,
+            node_tdp_w=nodes[0].max_power_w(),
+            node_min_w=nodes[0].spec.min_power_w,
+        )
+        if not self._power_feasible(nodes, budget):
+            return False
+        self._launch(job, nodes, budget, backfilled=backfill)
+        return True
+
+    def _schedule(self) -> None:
+        """One scheduling pass: FCFS head first, then EASY backfill."""
+        progressed = True
+        while progressed:
+            progressed = False
+            head = self.queue.head()
+            if head is None:
+                return
+            if self._try_start(head):
+                self.queue.remove(head)
+                progressed = True
+        if not self.config.backfill:
+            return
+        head = self.queue.head()
+        if head is None:
+            return
+        shadow = self._shadow_time(head)
+        candidates = self.queue.backfill_candidates(
+            self.env.now, shadow, fits=lambda job: self._fits_now(job)
+        )
+        for job in candidates:
+            if self._try_start(job, backfill=True):
+                self.queue.remove(job)
+                self.backfilled_jobs += 1
+
+    def _fits_now(self, job: Job) -> bool:
+        free = self.cluster.free_nodes()
+        count = self._choose_node_count(job, len(free))
+        if count is None:
+            return False
+        nodes = free[:count]
+        budget = self.policies.job_budget_w(
+            job_nodes=count,
+            total_nodes=len(self.cluster),
+            committed_power_w=self._committed_power_w,
+            node_tdp_w=nodes[0].max_power_w(),
+            node_min_w=nodes[0].spec.min_power_w,
+        )
+        return self._power_feasible(nodes, budget)
+
+    def _shadow_time(self, head: Job) -> float:
+        """Estimated earliest start of the head job (its reservation time)."""
+        needed = min(head.request.acceptable_node_counts() or [head.request.nodes_requested])
+        free = len(self.cluster.free_nodes())
+        if free >= needed:
+            return self.env.now
+        releases = sorted(
+            (
+                (job.start_time_s or self.env.now) + job.request.walltime_estimate_s,
+                job.node_count,
+            )
+            for job in self.running.values()
+        )
+        available = free
+        for when, count in releases:
+            available += count
+            if available >= needed:
+                return max(when, self.env.now)
+        return self.env.now + 10 * 3600.0  # pessimistic: nothing frees up soon
+
+    # -- launching -----------------------------------------------------------------------------
+    def _default_runtime(self, job: Job, budget_w: Optional[float]) -> RuntimeHooks:
+        policy = self.policy_assigner.assign(job.job_id, job.request.application.name, budget_w)
+        endpoint = GeopmEndpoint(job_id=job.job_id)
+        endpoint.write_policy(policy)
+        self.endpoints[job.job_id] = endpoint
+        runtime = GeopmRuntime(policy=policy, endpoint=endpoint)
+        job.launch_metadata = {
+            "geopm_agent": policy.agent,
+            "geopm_source": policy.source,
+            "power_budget_w": policy.power_budget_w,
+        }
+        return runtime
+
+    def _launch(self, job: Job, nodes: List[Node], budget_w: Optional[float], backfilled: bool) -> None:
+        for node in nodes:
+            node.allocate(job.job_id)
+        if self.config.runtime_factory is not None:
+            runtime = self.config.runtime_factory(job, budget_w, self)
+        else:
+            runtime = self._default_runtime(job, budget_w)
+        self.runtime_handles[job.job_id] = runtime
+
+        sim = self._sims[job.job_id] = MpiJobSimulator(
+            self.env,
+            nodes,
+            job.request.application,
+            job.request.params,
+            ranks_per_node=job.request.ranks_per_node,
+            hooks=runtime,
+            streams=self.streams.spawn(job.job_id),
+            static_imbalance=self.config.static_imbalance,
+            imbalance_sigma=self.config.imbalance_sigma,
+            job_id=job.job_id,
+        )
+        job.mark_started(self.env.now, nodes, budget_w)
+        job.launch_metadata.setdefault("power_budget_w", budget_w)
+        job.launch_metadata["backfilled"] = backfilled
+        self._committed_power_w += self._commitment_for(nodes, budget_w)
+        self.running[job.job_id] = job
+        self.env.process(self._job_process(job, sim))
+
+    def _job_process(self, job: Job, sim: MpiJobSimulator):
+        result = yield self.env.process(sim.run())
+        if job.state is JobState.RUNNING:
+            job.mark_completed(self.env.now, result)
+        else:
+            job.result = result
+        self._finish(job)
+
+    def _finish(self, job: Job) -> None:
+        budget = job.power_budget_w
+        self._committed_power_w -= self._commitment_for(job.assigned_nodes, budget)
+        self._committed_power_w = max(0.0, self._committed_power_w)
+        for node in job.assigned_nodes:
+            node.release()
+        self.running.pop(job.job_id, None)
+        self.completed.append(job)
+        self._sample_power()
+        self._schedule()
+
+    def cancel(self, job_id: str) -> None:
+        """Cancel a pending or running job (running jobs stop at the next iteration)."""
+        job = self.jobs[job_id]
+        if job.state is JobState.PENDING:
+            self.queue.remove(job)
+            job.mark_cancelled(self.env.now)
+        elif job.state is JobState.RUNNING:
+            sim = self._sims.get(job_id)
+            if sim is not None:
+                sim.cancel()
+            job.mark_cancelled(self.env.now)
+            self.running.pop(job_id, None)
+            # The underlying simulator stops at the next iteration boundary;
+            # resources are reclaimed in _finish when it ends.
+
+    # -- statistics -------------------------------------------------------------------------------
+    def stats(self) -> SchedulerStats:
+        finished = [j for j in self.jobs.values() if j.state is JobState.COMPLETED]
+        cancelled = [j for j in self.jobs.values() if j.state is JobState.CANCELLED]
+        waits = [j.wait_time_s() for j in finished if j.wait_time_s() is not None]
+        turnarounds = [j.turnaround_s() for j in finished if j.turnaround_s() is not None]
+        makespan = self.env.now
+        total_node_seconds = len(self.cluster) * makespan if makespan > 0 else 1.0
+        energy = sum(j.result.energy_j for j in finished if j.result is not None)
+        throughput = len(finished) / (makespan / 3600.0) if makespan > 0 else 0.0
+        return SchedulerStats(
+            jobs_submitted=len(self.jobs),
+            jobs_completed=len(finished),
+            jobs_cancelled=len(cancelled),
+            makespan_s=makespan,
+            mean_wait_s=float(np.mean(waits)) if waits else 0.0,
+            mean_turnaround_s=float(np.mean(turnarounds)) if turnarounds else 0.0,
+            throughput_jobs_per_hour=throughput,
+            node_utilization=min(1.0, self._busy_node_seconds / total_node_seconds),
+            total_energy_j=energy,
+            mean_system_power_w=self.power_series.mean_power_w() if len(self.power_series) else 0.0,
+            peak_system_power_w=self.power_series.max_power_w(),
+            committed_power_w=self._committed_power_w,
+            backfilled_jobs=self.backfilled_jobs,
+        )

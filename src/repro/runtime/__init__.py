@@ -1,0 +1,70 @@
+"""Job-level runtime systems (the PowerStack's job/runtime layer).
+
+Table 2 of the paper lists the job-level runtime tools the community has
+built; the use cases in §3.2 co-tune several of them.  This subpackage
+re-implements each tool's published control algorithm against the
+simulated hardware, all sharing the
+:class:`~repro.apps.mpi.RuntimeHooks` interface so they can be attached
+to a running job:
+
+* :class:`~repro.runtime.geopm.GeopmRuntime` with its agent plugins
+  (:mod:`repro.runtime.agents`) and RM-facing endpoint — use case 2.
+* :class:`~repro.runtime.conductor.ConductorRuntime` — power balancing
+  under a job power budget — use case 1.
+* :class:`~repro.runtime.countdown.CountdownRuntime` — MPI-phase
+  down-clocking for performance-neutral energy saving — use case 6.
+* :class:`~repro.runtime.meric.MericRuntime` /
+  :class:`~repro.runtime.readex.ReadexTuner` — per-region static/dynamic
+  tuning (READEX tool suite) — use case 4.
+* :class:`~repro.runtime.epop.EpopRuntime` — elastic phase-oriented
+  programming for malleable jobs — use case 5.
+* :class:`~repro.runtime.coordination.RuntimeCoordinator` — arbitration
+  layer that lets two runtimes (COUNTDOWN + MERIC) cooperate — use case 7.
+* :class:`~repro.runtime.semantic.SemanticAwareRuntime` — proactive knob
+  selection from application-declared timestep semantics (§4.4).
+"""
+
+from repro.runtime.base import JobRuntime, RUNTIME_REGISTRY, register_runtime
+from repro.runtime.agents import (
+    Agent,
+    EnergyEfficientAgent,
+    FrequencyMapAgent,
+    MonitorAgent,
+    PowerBalancerAgent,
+    PowerGovernorAgent,
+)
+from repro.runtime.conductor import ConductorRuntime
+from repro.runtime.coordination import RuntimeCoordinator
+from repro.runtime.countdown import CountdownMode, CountdownRuntime
+from repro.runtime.epop import EpopRuntime
+from repro.runtime.geopm import GeopmEndpoint, GeopmPolicy, GeopmRuntime
+from repro.runtime.meric import MericRuntime, RegionConfig, RegionConfigStore
+from repro.runtime.readex import ReadexTuner, TuningModel
+from repro.runtime.semantic import SemanticAwareRuntime, SemanticKnobPolicy
+
+__all__ = [
+    "Agent",
+    "ConductorRuntime",
+    "CountdownMode",
+    "CountdownRuntime",
+    "EnergyEfficientAgent",
+    "EpopRuntime",
+    "FrequencyMapAgent",
+    "GeopmEndpoint",
+    "GeopmPolicy",
+    "GeopmRuntime",
+    "JobRuntime",
+    "MericRuntime",
+    "MonitorAgent",
+    "PowerBalancerAgent",
+    "PowerGovernorAgent",
+    "RUNTIME_REGISTRY",
+    "RegionConfig",
+    "RegionConfigStore",
+    "SemanticAwareRuntime",
+    "SemanticKnobPolicy",
+    "ReadexTuner",
+    "RuntimeCoordinator",
+    "TuningModel",
+    "register_runtime",
+]

@@ -1,0 +1,226 @@
+"""READEX / Periscope Tuning Framework: design-time + runtime tuning (use case 4).
+
+The READEX methodology has two stages:
+
+* **Design-time analysis (DTA)** — the Periscope Tuning Framework runs
+  the instrumented application through a set of experiments, sweeping
+  hardware parameters (core/uncore frequency, threads) and — through the
+  ATP (Application Tuning Parameter) plugin — application parameters
+  (solver, preconditioner, domain size), and distils the results into a
+  **tuning model**: the best configuration per region / scenario.
+* **Runtime Application Tuning (RAT)** — the MERIC/READEX runtime
+  library replays the tuning model during production runs, switching the
+  configuration at region boundaries.
+
+The paper highlights the ATP plugin's key input: "not only a list of
+parameter values to set but also dependency conditions that express
+which combinations of parameters are not allowed" — represented here by
+:class:`AtpConstraint` predicates attached to the parameter definitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.apps.base import Application
+from repro.apps.mpi import MpiJobSimulator
+from repro.hardware.node import Node
+from repro.runtime.meric import MericRuntime, RegionConfig, RegionConfigStore
+from repro.sim.rng import RandomStreams
+
+__all__ = ["AtpParameter", "AtpConstraint", "TuningModel", "ReadexTuner"]
+
+
+@dataclass(frozen=True)
+class AtpParameter:
+    """An Application Tuning Parameter: a named, discrete value set."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"ATP parameter {self.name!r} needs at least one value")
+
+
+@dataclass(frozen=True)
+class AtpConstraint:
+    """A dependency condition: configurations violating it are skipped."""
+
+    description: str
+    predicate: Callable[[Mapping[str, Any]], bool]
+
+    def allows(self, config: Mapping[str, Any]) -> bool:
+        return bool(self.predicate(config))
+
+
+@dataclass
+class TuningModel:
+    """The product of design-time analysis, consumed by production runs."""
+
+    #: Best hardware configuration per region.
+    region_configs: Dict[str, RegionConfig] = field(default_factory=dict)
+    #: Best application (ATP) parameter values, applied at job launch.
+    application_params: Dict[str, Any] = field(default_factory=dict)
+    #: Objective the model was built for.
+    objective: str = "energy_j"
+    #: Design-time measurements summary (per evaluated configuration).
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    def runtime(self) -> MericRuntime:
+        """Instantiate the production runtime that replays this model."""
+        return MericRuntime(region_configs=dict(self.region_configs))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "objective": self.objective,
+                "application_params": self.application_params,
+                "region_configs": {
+                    region: cfg.as_dict() for region, cfg in self.region_configs.items()
+                },
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningModel":
+        data = json.loads(text)
+        return cls(
+            region_configs={
+                region: RegionConfig(
+                    core_freq_ghz=cfg.get("core_freq_ghz"),
+                    uncore_freq_ghz=cfg.get("uncore_freq_ghz"),
+                    threads=int(cfg["threads"]) if cfg.get("threads") else None,
+                )
+                for region, cfg in data.get("region_configs", {}).items()
+            },
+            application_params=dict(data.get("application_params", {})),
+            objective=data.get("objective", "energy_j"),
+        )
+
+
+class ReadexTuner:
+    """Design-time analysis: sweep configurations, build a tuning model."""
+
+    def __init__(
+        self,
+        application: Application,
+        nodes: Sequence[Node],
+        core_freqs_ghz: Sequence[float] = (1.2, 1.8, 2.4, 3.0),
+        uncore_freqs_ghz: Sequence[float] = (1.2, 1.8, 2.4),
+        thread_counts: Sequence[int] = (56,),
+        atp_parameters: Sequence[AtpParameter] = (),
+        atp_constraints: Sequence[AtpConstraint] = (),
+        objective: str = "energy_j",
+        max_iterations_per_experiment: int = 4,
+        streams: Optional[RandomStreams] = None,
+    ):
+        if objective not in ("energy_j", "runtime_s", "edp"):
+            raise ValueError("objective must be one of energy_j, runtime_s, edp")
+        if not nodes:
+            raise ValueError("design-time analysis needs at least one node")
+        self.application = application
+        self.nodes = list(nodes)
+        self.core_freqs_ghz = tuple(core_freqs_ghz)
+        self.uncore_freqs_ghz = tuple(uncore_freqs_ghz)
+        self.thread_counts = tuple(thread_counts)
+        self.atp_parameters = tuple(atp_parameters)
+        self.atp_constraints = tuple(atp_constraints)
+        self.objective = objective
+        self.max_iterations_per_experiment = int(max_iterations_per_experiment)
+        self.streams = streams or RandomStreams(0)
+        self.experiments_run = 0
+
+    # -- ATP space -------------------------------------------------------------------
+    def atp_configurations(self) -> List[Dict[str, Any]]:
+        """All allowed ATP combinations (dependency conditions applied)."""
+        if not self.atp_parameters:
+            return [{}]
+        names = [p.name for p in self.atp_parameters]
+        combos = itertools.product(*[p.values for p in self.atp_parameters])
+        allowed: List[Dict[str, Any]] = []
+        for combo in combos:
+            config = dict(zip(names, combo))
+            if all(c.allows(config) for c in self.atp_constraints):
+                allowed.append(config)
+        return allowed
+
+    # -- experiments ----------------------------------------------------------------------
+    def _run_experiment(
+        self, app_params: Mapping[str, Any], hw_config: RegionConfig
+    ) -> MericRuntime:
+        """One design-time experiment: a shortened run at a fixed configuration."""
+        for node in self.nodes:
+            node.allocated_to = None
+            node.set_power_cap(None)
+        runtime = MericRuntime(measure_config=hw_config)
+        MpiJobSimulator.evaluate(
+            self.nodes,
+            self.application,
+            dict(app_params),
+            hooks=runtime,
+            streams=self.streams.spawn(f"readex-{self.experiments_run}"),
+            job_id=f"dta-{self.experiments_run}",
+            max_iterations=self.max_iterations_per_experiment,
+        )
+        self.experiments_run += 1
+        return runtime
+
+    def run_design_time_analysis(self) -> TuningModel:
+        """Sweep ATP and hardware configurations; return the tuning model."""
+        store = RegionConfigStore()
+        history: List[Dict[str, float]] = []
+
+        best_app_params: Dict[str, Any] = {}
+        best_app_score = float("inf")
+
+        hw_configs = [
+            RegionConfig(core_freq_ghz=cf, uncore_freq_ghz=uf, threads=t)
+            for cf in self.core_freqs_ghz
+            for uf in self.uncore_freqs_ghz
+            for t in self.thread_counts
+        ]
+
+        for app_params in self.atp_configurations():
+            app_score = 0.0
+            for hw_config in hw_configs:
+                runtime = self._run_experiment(app_params, hw_config)
+                for region in runtime.store.regions():
+                    for meas in runtime.store.measurements(region):
+                        store.record(region, meas.config, meas.runtime_s, meas.energy_j)
+                total_runtime = sum(
+                    m.runtime_s for m in runtime.store.measurements()
+                )
+                total_energy = sum(m.energy_j for m in runtime.store.measurements())
+                score = {
+                    "energy_j": total_energy,
+                    "runtime_s": total_runtime,
+                    "edp": total_energy * total_runtime,
+                }[self.objective]
+                app_score += score
+                history.append(
+                    {
+                        "core_freq_ghz": hw_config.core_freq_ghz or 0.0,
+                        "uncore_freq_ghz": hw_config.uncore_freq_ghz or 0.0,
+                        "threads": float(hw_config.threads or 0),
+                        "runtime_s": total_runtime,
+                        "energy_j": total_energy,
+                        "score": score,
+                        **{f"atp_{k}": hash(str(v)) % 1000 for k, v in app_params.items()},
+                    }
+                )
+            if app_score < best_app_score:
+                best_app_score = app_score
+                best_app_params = dict(app_params)
+
+        model = TuningModel(
+            region_configs=store.tuning_table(self.objective),
+            application_params=best_app_params,
+            objective=self.objective,
+            history=history,
+        )
+        return model

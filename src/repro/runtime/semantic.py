@@ -1,0 +1,184 @@
+"""Semantic-aware runtime: act on application-declared timestep structure (§4.4).
+
+MERIC/READEX tune per region by *measuring* each region under many knob
+settings first; COUNTDOWN reacts to MPI calls as they happen.  The §4.4
+research question asks what becomes possible when the application simply
+*tells* the stack what the next timestep is about to do ("state of the
+molecular dynamics simulation at each time step").
+
+:class:`SemanticAwareRuntime` is that consumer: at every iteration start
+it queries the application's :meth:`~repro.apps.base.Application.semantic_state`
+and — with zero prior training — sets the core/uncore frequency it will
+use for the step's regions, using each region's declared ``semantic``
+tag to refine the setting per region.  The policy is the standard
+energy-efficiency playbook:
+
+* compute-bound regions: high core frequency, lowered uncore;
+* memory/bandwidth-bound regions: lowered core frequency, full uncore;
+* communication-bound regions: lowest core frequency (the COUNTDOWN move).
+
+Its value is measured against (a) a static default and (b) MERIC's
+measured per-region tuning in ``benchmarks/bench_research_crossstack_semantic.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.apps.mpi import MpiJobSimulator, RegionRecord
+from repro.hardware.workload import PhaseDemand
+from repro.runtime.base import JobRuntime, register_runtime
+
+__all__ = ["SemanticKnobPolicy", "SemanticAwareRuntime"]
+
+
+@dataclass(frozen=True)
+class SemanticKnobPolicy:
+    """Knob settings applied per declared region kind.
+
+    Frequencies are expressed as fractions of the package's base (core)
+    and maximum (uncore) frequency so one policy works across SKUs.
+    """
+
+    compute_core: float = 1.0
+    compute_uncore: float = 0.9
+    memory_core: float = 0.6
+    memory_uncore: float = 1.0
+    communication_core: float = 0.5
+    communication_uncore: float = 0.6
+    default_core: float = 1.0
+    default_uncore: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "compute_core", "compute_uncore", "memory_core", "memory_uncore",
+            "communication_core", "communication_uncore", "default_core", "default_uncore",
+        ):
+            value = getattr(self, field_name)
+            if not 0.1 <= value <= 1.5:
+                raise ValueError(f"{field_name} must be in [0.1, 1.5], got {value}")
+
+    def for_kind(self, kind: str) -> tuple:
+        """(core_fraction, uncore_fraction) for a semantic region kind."""
+        if kind == "compute":
+            return self.compute_core, self.compute_uncore
+        if kind == "memory":
+            return self.memory_core, self.memory_uncore
+        if kind == "communication":
+            return self.communication_core, self.communication_uncore
+        return self.default_core, self.default_uncore
+
+
+@register_runtime
+class SemanticAwareRuntime(JobRuntime):
+    """Sets per-region knobs from application-declared semantic hints."""
+
+    name = "semantic"
+    tunable_parameters = {
+        "memory_core": [0.5, 0.65, 0.8],
+        "communication_core": [0.4, 0.5, 0.65],
+        "compute_uncore": [0.6, 0.7, 0.85, 1.0],
+    }
+
+    def __init__(
+        self,
+        policy: Optional[SemanticKnobPolicy] = None,
+        power_budget_w: Optional[float] = None,
+    ):
+        super().__init__(power_budget_w=power_budget_w)
+        self.policy = policy or SemanticKnobPolicy()
+        #: Semantic hints of the iteration currently executing.
+        self._current_hints: Dict[str, object] = {}
+        #: How many iterations supplied usable semantic information.
+        self.informed_iterations = 0
+        #: How many region knob adjustments were applied.
+        self.adjustments = 0
+
+    # -- hooks ---------------------------------------------------------------------
+    def on_iteration_start(self, sim: MpiJobSimulator, iteration: int) -> None:
+        super().on_iteration_start(sim, iteration)
+        try:
+            hints = sim.application.semantic_state(sim.params, iteration)
+        except Exception:
+            hints = {}
+        self._current_hints = dict(hints or {})
+        if self._current_hints:
+            self.informed_iterations += 1
+
+    def _region_kind(self, region: PhaseDemand) -> str:
+        """Kind of a region: its own semantic tag first, iteration hints second."""
+        tagged = region.tags.get("semantic")
+        if tagged:
+            return str(tagged)
+        if self.is_mpi_region(region):
+            return "communication"
+        dominant = self._current_hints.get("dominant_kind")
+        if isinstance(dominant, str):
+            return dominant
+        return "default"
+
+    def on_region_enter(
+        self, sim: MpiJobSimulator, region: PhaseDemand, iteration: int
+    ) -> None:
+        kind = self._region_kind(region)
+        core_fraction, uncore_fraction = self.policy.for_kind(kind)
+        for node in sim.nodes:
+            spec = node.spec.cpu
+            node.set_frequency(spec.freq_base_ghz * core_fraction)
+            node.set_uncore_frequency(spec.uncore_max_ghz * uncore_fraction)
+        self.adjustments += 1
+
+    def on_job_end(self, sim: MpiJobSimulator, result) -> None:
+        super().on_job_end(sim, result)
+        self._current_hints = {}
+
+    # -- reporting --------------------------------------------------------------------
+    def report(self) -> Dict[str, float]:
+        data = super().report()
+        data.update(
+            {
+                "informed_iterations": float(self.informed_iterations),
+                "adjustments": float(self.adjustments),
+            }
+        )
+        return data
+
+
+def compare_semantic_hint_quality(
+    records: Sequence[RegionRecord], hints_per_iteration: Dict[int, Dict[str, object]]
+) -> Dict[str, float]:
+    """How well the declared hints predicted the measured behaviour.
+
+    For every iteration that declared a ``dominant_kind``, check whether the
+    longest region of that iteration matches the declared kind.  Returns the
+    hit fraction and the number of scored iterations — a small diagnostic
+    used by the semantic bench to show the hints carry real information.
+    """
+    by_iteration: Dict[int, Dict[str, float]] = {}
+    kinds: Dict[int, Dict[str, str]] = {}
+    for record in records:
+        if record.iteration < 0:
+            continue
+        durations = by_iteration.setdefault(record.iteration, {})
+        durations[record.region] = durations.get(record.region, 0.0) + record.result.duration_s
+        executions = record.result.per_package
+        kind = (
+            executions[0].demand.tags.get("semantic", "default") if executions else "default"
+        )
+        kinds.setdefault(record.iteration, {})[record.region] = kind
+    hits = 0
+    scored = 0
+    for iteration, durations in by_iteration.items():
+        declared = hints_per_iteration.get(iteration, {}).get("dominant_kind")
+        if not isinstance(declared, str) or not durations:
+            continue
+        longest = max(durations, key=durations.get)
+        measured_kind = kinds.get(iteration, {}).get(longest, "default")
+        scored += 1
+        if measured_kind == declared:
+            hits += 1
+    return {
+        "scored_iterations": float(scored),
+        "hit_fraction": hits / scored if scored else 0.0,
+    }

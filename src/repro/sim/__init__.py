@@ -1,0 +1,48 @@
+"""Discrete-event simulation substrate for the PowerStack reproduction.
+
+The PowerStack paper's use cases all involve components that act *over
+time*: resource managers admitting jobs, runtimes adjusting power caps
+every control interval, applications progressing through phases.  This
+subpackage provides a small, dependency-free discrete-event simulation
+(DES) kernel in the style of SimPy:
+
+* :class:`~repro.sim.engine.Environment` — the event loop and clock.
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Process` — the primitives simulated actors
+  are written with (generator-based coroutines).
+* :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.Container`,
+  :class:`~repro.sim.resources.Store` — shared-resource primitives used
+  by the scheduler and node models.
+* :class:`~repro.sim.rng.RandomStreams` — named, reproducible random
+  number streams so experiments are deterministic for a given seed.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

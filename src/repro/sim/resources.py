@@ -1,0 +1,277 @@
+"""Shared-resource primitives built on the DES kernel.
+
+Three resource flavours cover everything the PowerStack layers need:
+
+* :class:`Resource` — a counted resource with FIFO queuing (compute
+  nodes in a partition, licenses, launch slots).
+* :class:`PriorityResource` — like :class:`Resource` but requests carry
+  a priority (used by the backfill scheduler for reservations).
+* :class:`Container` — a continuous quantity that can be put/got in
+  fractional amounts (the site power budget pool).
+* :class:`Store` — a FIFO of Python objects (message queues between the
+  resource manager and job-level runtimes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Request", "Release", "Resource", "PriorityResource", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending request against a :class:`Resource`.
+
+    Usable as a context manager so the resource is always released::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """Event returned by :meth:`Resource.release`; triggers immediately."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(self)
+        if not self.triggered:
+            self.succeed()
+
+
+class Resource:
+    """A resource with integer capacity and FIFO request queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = int(capacity)
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        return Release(self, request)
+
+    # -- internal --------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed()
+
+    def _do_release(self, release: Release) -> None:
+        request = release.request
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+        self._wake_next()
+
+    def _cancel(self, request: Request) -> None:
+        if request in self.queue:
+            self.queue.remove(request)
+
+    def _wake_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self._pop_next()
+            self._grant(nxt)
+
+    def _pop_next(self) -> Request:
+        return self.queue.pop(0)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by ``(priority, arrival order)``."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._arrival = 0
+        self._heap: list[tuple[int, int, Request]] = []
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity and not self._heap:
+            self._grant(request)
+        else:
+            self._arrival += 1
+            heapq.heappush(self._heap, (request.priority, self._arrival, request))
+            self.queue = [entry[2] for entry in sorted(self._heap)]
+
+    def _do_release(self, release: Release) -> None:
+        request = release.request
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            self._heap = [entry for entry in self._heap if entry[2] is not request]
+            heapq.heapify(self._heap)
+        self._wake_next()
+        self.queue = [entry[2] for entry in sorted(self._heap)]
+
+    def _cancel(self, request: Request) -> None:
+        self._heap = [entry for entry in self._heap if entry[2] is not request]
+        heapq.heapify(self._heap)
+        self.queue = [entry[2] for entry in sorted(self._heap)]
+
+    def _wake_next(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _prio, _arrival, nxt = heapq.heappop(self._heap)
+            self._grant(nxt)
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous quantity with a capacity; supports put/get of amounts.
+
+    Used to model the divisible site/system power budget: a job "gets"
+    watts when it starts and "puts" them back when it completes.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._put_queue: list[ContainerPut] = []
+        self._get_queue: list[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self._level + put.amount <= self.capacity + 1e-12:
+                    self._level = min(self.capacity, self._level + put.amount)
+                    self._put_queue.pop(0)
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if self._level + 1e-12 >= get.amount:
+                    self._level = max(0.0, self._level - get.amount)
+                    self._get_queue.pop(0)
+                    get.succeed()
+                    progressed = True
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO store of arbitrary items with optional bounded capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._get_queue and self.items:
+                get = self._get_queue.pop(0)
+                get.succeed(self.items.pop(0))
+                progressed = True

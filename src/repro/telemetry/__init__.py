@@ -1,0 +1,44 @@
+"""Telemetry: metrics, counters, time-series sampling, performance database.
+
+Section 2.2 of the paper enumerates the measured and derived metrics the
+PowerStack layers tune against (power, energy, execution time, operating
+frequency, FLOPS/IPC/IPS, power efficiency, energy efficiency, node
+utilization).  This subpackage provides:
+
+* :mod:`repro.telemetry.metrics` — canonical metric definitions and the
+  arithmetic for derived metrics (EDP, ED2P, FLOPS/W, ...),
+* :mod:`repro.telemetry.counters` — counter snapshots and accumulators as
+  a runtime/RM would read them,
+* :mod:`repro.telemetry.sampler` — time-series recording with averaging
+  windows (for power-corridor and power-cap compliance checks),
+* :mod:`repro.telemetry.database` — the performance database the
+  auto-tuning loop appends its evaluations to (ytopt's "performance
+  database", §3.2.3).
+"""
+
+from repro.telemetry.counters import CounterSnapshot, TelemetryAccumulator
+from repro.telemetry.database import EvaluationRecord, PerformanceDatabase
+from repro.telemetry.metrics import (
+    METRIC_REGISTRY,
+    Metric,
+    MetricKind,
+    derived_metrics,
+    energy_delay_product,
+    energy_delay_squared_product,
+)
+from repro.telemetry.sampler import PowerTimeSeries, SlidingWindow
+
+__all__ = [
+    "CounterSnapshot",
+    "EvaluationRecord",
+    "METRIC_REGISTRY",
+    "Metric",
+    "MetricKind",
+    "PerformanceDatabase",
+    "PowerTimeSeries",
+    "SlidingWindow",
+    "TelemetryAccumulator",
+    "derived_metrics",
+    "energy_delay_product",
+    "energy_delay_squared_product",
+]

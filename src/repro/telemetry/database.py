@@ -1,0 +1,171 @@
+"""Performance database for auto-tuning evaluations.
+
+The ytopt flow in §3.2.3 appends every evaluated configuration and its
+measured outcome to a "performance database" which is post-processed to
+find the best configuration.  The same store also backs the paper's
+"job-specific policies" GEOPM mode (§3.2.2), where a site keeps a database
+mapping applications to historically good policy parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["EvaluationRecord", "PerformanceDatabase"]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One evaluated configuration and its measured metrics."""
+
+    config: Dict[str, Any]
+    metrics: Dict[str, float]
+    objective: float
+    elapsed_s: float = 0.0
+    feasible: bool = True
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": dict(self.config),
+            "metrics": dict(self.metrics),
+            "objective": self.objective,
+            "elapsed_s": self.elapsed_s,
+            "feasible": self.feasible,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationRecord":
+        return cls(
+            config=dict(data["config"]),
+            metrics=dict(data["metrics"]),
+            objective=float(data["objective"]),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            feasible=bool(data.get("feasible", True)),
+            tags=dict(data.get("tags", {})),
+        )
+
+
+class PerformanceDatabase:
+    """An append-only store of :class:`EvaluationRecord` objects."""
+
+    def __init__(self, name: str = "default"):
+        self.name = name
+        self._records: List[EvaluationRecord] = []
+
+    def add(self, record: EvaluationRecord) -> None:
+        self._records.append(record)
+
+    def add_evaluation(
+        self,
+        config: Mapping[str, Any],
+        metrics: Mapping[str, float],
+        objective: float,
+        elapsed_s: float = 0.0,
+        feasible: bool = True,
+        **tags: str,
+    ) -> EvaluationRecord:
+        record = EvaluationRecord(
+            config=dict(config),
+            metrics=dict(metrics),
+            objective=float(objective),
+            elapsed_s=elapsed_s,
+            feasible=feasible,
+            tags=dict(tags),
+        )
+        self.add(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(self, feasible_only: bool = False) -> List[EvaluationRecord]:
+        if feasible_only:
+            return [r for r in self._records if r.feasible]
+        return list(self._records)
+
+    def best(
+        self, minimize: bool = True, feasible_only: bool = True
+    ) -> Optional[EvaluationRecord]:
+        """The record with the best objective (``None`` if empty)."""
+        pool = self.records(feasible_only=feasible_only)
+        if not pool:
+            pool = self.records(feasible_only=False)
+        if not pool:
+            return None
+        key: Callable[[EvaluationRecord], float] = lambda r: r.objective
+        return min(pool, key=key) if minimize else max(pool, key=key)
+
+    def top_k(self, k: int, minimize: bool = True) -> List[EvaluationRecord]:
+        pool = sorted(self.records(), key=lambda r: r.objective, reverse=not minimize)
+        return pool[: max(0, k)]
+
+    def filter(self, predicate: Callable[[EvaluationRecord], bool]) -> "PerformanceDatabase":
+        out = PerformanceDatabase(self.name)
+        for record in self._records:
+            if predicate(record):
+                out.add(record)
+        return out
+
+    def objectives(self) -> List[float]:
+        return [r.objective for r in self._records]
+
+    def best_so_far(self, minimize: bool = True) -> List[float]:
+        """Convergence curve: running best objective after each evaluation."""
+        curve: List[float] = []
+        best: Optional[float] = None
+        for record in self._records:
+            if not record.feasible:
+                if best is not None:
+                    curve.append(best)
+                    continue
+            value = record.objective
+            if best is None:
+                best = value
+            else:
+                best = min(best, value) if minimize else max(best, value)
+            curve.append(best)
+        return curve
+
+    # -- lookup of historically good configurations ------------------------
+    def lookup(self, **tag_filters: str) -> List[EvaluationRecord]:
+        """Records whose tags match all the given key/value pairs."""
+        out = []
+        for record in self._records:
+            if all(record.tags.get(k) == v for k, v in tag_filters.items()):
+                out.append(record)
+        return out
+
+    def best_for(self, minimize: bool = True, **tag_filters: str) -> Optional[EvaluationRecord]:
+        pool = self.lookup(**tag_filters)
+        if not pool:
+            return None
+        return min(pool, key=lambda r: r.objective) if minimize else max(
+            pool, key=lambda r: r.objective
+        )
+
+    # -- persistence ----------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([r.to_dict() for r in self._records], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str, name: str = "default") -> "PerformanceDatabase":
+        db = cls(name)
+        for item in json.loads(text):
+            db.add(EvaluationRecord.from_dict(item))
+        return db
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str, name: str = "default") -> "PerformanceDatabase":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read(), name)

@@ -1,0 +1,154 @@
+"""Time-series power sampling and sliding averaging windows.
+
+Power constraints in the paper are always defined *over a time window*
+("A power constraint is applied and measured over a time window", §2.1).
+:class:`SlidingWindow` implements that averaging; :class:`PowerTimeSeries`
+records a sampled power trace and answers the corridor/budget compliance
+questions the IRM and system-level experiments ask (Figure 6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SlidingWindow", "PowerTimeSeries", "CorridorStats"]
+
+
+class SlidingWindow:
+    """Time-weighted sliding average over a fixed horizon."""
+
+    def __init__(self, window_s: float):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = float(window_s)
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def add(self, time_s: float, value: float) -> None:
+        """Add a sample taken at ``time_s``."""
+        if self._samples and time_s < self._samples[-1][0]:
+            raise ValueError("samples must be added in time order")
+        self._samples.append((float(time_s), float(value)))
+        self._evict(time_s)
+
+    def _evict(self, now_s: float) -> None:
+        while self._samples and self._samples[0][0] < now_s - self.window_s:
+            self._samples.popleft()
+
+    def average(self) -> float:
+        """Time-weighted average of the samples currently in the window."""
+        if not self._samples:
+            return 0.0
+        if len(self._samples) == 1:
+            return self._samples[0][1]
+        times = np.array([t for t, _ in self._samples])
+        values = np.array([v for _, v in self._samples])
+        # Trapezoidal time weighting.
+        dt = np.diff(times)
+        if dt.sum() <= 0:
+            return float(values.mean())
+        mid = 0.5 * (values[1:] + values[:-1])
+        return float(np.sum(mid * dt) / np.sum(dt))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+@dataclass(frozen=True)
+class CorridorStats:
+    """Compliance statistics of a power trace against a corridor."""
+
+    samples: int
+    above_upper: int
+    below_lower: int
+    max_power_w: float
+    min_power_w: float
+    mean_power_w: float
+
+    @property
+    def violations(self) -> int:
+        return self.above_upper + self.below_lower
+
+    @property
+    def violation_fraction(self) -> float:
+        return self.violations / self.samples if self.samples else 0.0
+
+
+class PowerTimeSeries:
+    """A recorded (time, power) trace with analysis helpers."""
+
+    def __init__(self, name: str = "system"):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time_s: float, power_w: float) -> None:
+        if self._times and time_s < self._times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        if power_w < 0:
+            raise ValueError("power must be >= 0")
+        self._times.append(float(time_s))
+        self._values.append(float(power_w))
+
+    def extend(self, samples: Iterable[Tuple[float, float]]) -> None:
+        for t, p in samples:
+            self.record(t, p)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def mean_power_w(self) -> float:
+        """Time-weighted mean power over the trace."""
+        if len(self._times) < 2:
+            return float(self._values[0]) if self._values else 0.0
+        return float(np.trapezoid(self._values, self._times) / (self._times[-1] - self._times[0]))
+
+    def max_power_w(self) -> float:
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def energy_j(self) -> float:
+        """Integral of the power trace."""
+        if len(self._times) < 2:
+            return 0.0
+        return float(np.trapezoid(self._values, self._times))
+
+    def windowed_average(self, window_s: float) -> "PowerTimeSeries":
+        """Return a new trace whose samples are window-averaged."""
+        window = SlidingWindow(window_s)
+        out = PowerTimeSeries(f"{self.name}[avg {window_s}s]")
+        for t, p in zip(self._times, self._values):
+            window.add(t, p)
+            out.record(t, window.average())
+        return out
+
+    def corridor_stats(
+        self, upper_w: float, lower_w: float = 0.0, window_s: Optional[float] = None
+    ) -> CorridorStats:
+        """Compliance of the (optionally window-averaged) trace with a corridor."""
+        if upper_w <= lower_w:
+            raise ValueError("upper bound must exceed lower bound")
+        trace = self if window_s is None else self.windowed_average(window_s)
+        values = trace.values
+        if values.size == 0:
+            return CorridorStats(0, 0, 0, 0.0, 0.0, 0.0)
+        above = int(np.sum(values > upper_w + 1e-9))
+        below = int(np.sum(values < lower_w - 1e-9))
+        return CorridorStats(
+            samples=int(values.size),
+            above_upper=above,
+            below_lower=below,
+            max_power_w=float(values.max()),
+            min_power_w=float(values.min()),
+            mean_power_w=float(values.mean()),
+        )

@@ -1,0 +1,108 @@
+"""Additional tests for the analysis/reporting helpers and failure injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reporting import ascii_timeseries, format_metrics, format_table, sparkline
+from repro.apps.base import SyntheticApplication, make_phase
+from repro.apps.mpi import MpiJobSimulator, RuntimeHooks
+from repro.core.tuner import Autotuner
+from repro.core.space import ParameterSpace
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+
+# -- reporting edge cases --------------------------------------------------------------
+
+
+def test_format_table_empty_and_missing_columns():
+    assert format_table([]) == "(empty table)"
+    text = format_table([{"a": 1}], columns=["a", "b"])
+    assert "a" in text and "b" in text
+
+
+def test_format_table_truncates_long_values():
+    text = format_table([{"x": "y" * 200}], max_width=20)
+    assert "…" in text
+
+
+def test_format_metrics_selected_keys():
+    text = format_metrics({"runtime_s": 1.23456, "energy_j": 10.0}, keys=["runtime_s"])
+    assert "runtime_s=1.235" in text and "energy_j" not in text
+
+
+def test_sparkline_constant_series():
+    assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+
+def test_ascii_timeseries_empty():
+    assert ascii_timeseries([], []) == "(empty series)"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40))
+def test_property_sparkline_length_matches_finite_values(values):
+    assert len(sparkline(values)) == len(values)
+
+
+# -- failure injection in the tuning loop -------------------------------------------------
+
+
+def test_tuner_survives_always_failing_evaluator():
+    space = ParameterSpace.from_dict({"x": [1, 2, 3]})
+
+    def broken(config):
+        raise RuntimeError("hardware fell over")
+
+    result = Autotuner(space, broken, search="random", max_evals=5, seed=0).run()
+    assert result.failed_evaluations == 5
+    assert result.best_config is not None       # best-effort record is still returned
+    assert result.infeasible_evaluations == 5   # but nothing was feasible
+    assert all(not record.feasible for record in result.database)
+
+
+def test_tuner_survives_evaluator_returning_garbage_metrics():
+    space = ParameterSpace.from_dict({"x": [1, 2, 3]})
+
+    def weird(config):
+        return {"not_a_known_metric": 1.0}
+
+    result = Autotuner(space, weird, objective="runtime", search="random",
+                       max_evals=4, seed=1).run()
+    assert result.evaluations == 4
+
+
+# -- failure injection in the job simulator ------------------------------------------------
+
+
+class ExplodingHooks(RuntimeHooks):
+    """A runtime whose region hook raises after a few regions."""
+
+    def __init__(self, explode_after: int):
+        self.explode_after = explode_after
+        self.seen = 0
+
+    def on_region_exit(self, sim, region, iteration, records):
+        self.seen += 1
+        if self.seen >= self.explode_after:
+            raise RuntimeError("runtime crashed")
+
+
+def test_simulator_propagates_runtime_crash():
+    cluster = Cluster(ClusterSpec(n_nodes=1), seed=0)
+    app = SyntheticApplication("x", [make_phase("c", 0.2, ref_threads=56)], n_iterations=5)
+    with pytest.raises(RuntimeError, match="runtime crashed"):
+        MpiJobSimulator.evaluate(cluster.nodes[:1], app, hooks=ExplodingHooks(3), job_id="boom")
+
+
+def test_node_survives_extreme_but_valid_settings():
+    cluster = Cluster(ClusterSpec(n_nodes=1), seed=0)
+    node = cluster.nodes[0]
+    node.set_frequency(0.0001)       # clamped to the minimum P-state
+    node.set_uncore_frequency(99.0)  # clamped to the maximum uncore
+    node.set_power_cap(1.0)          # clamped to the enforceable minimum
+    app = SyntheticApplication("x", [make_phase("c", 0.2, ref_threads=56)], n_iterations=2)
+    result = MpiJobSimulator.evaluate([node], app, job_id="extreme")
+    assert np.isfinite(result.runtime_s) and result.runtime_s > 0
+    assert np.isfinite(result.energy_j)

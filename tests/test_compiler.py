@@ -1,0 +1,160 @@
+"""Tests for the compiler / system-software layer."""
+
+import pytest
+
+from repro.compiler.clang import ClangToolchain, OptimizationLevel
+from repro.compiler.libraries import LibraryStack, MPI_VARIANTS, OPENMP_VARIANTS
+from repro.compiler.plopper import Plopper
+from repro.compiler.pragmas import DEFAULT_MOLD_SOURCE, MoldCode, PragmaConfig
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+
+# -- pragmas / mold code ---------------------------------------------------------
+
+
+def test_pragma_config_validation():
+    with pytest.raises(ValueError):
+        PragmaConfig(tile_i=0)
+    with pytest.raises(ValueError):
+        PragmaConfig(interchange="abc")
+    with pytest.raises(ValueError):
+        PragmaConfig(unroll_jam=0)
+
+
+def test_pragma_config_roundtrip_through_parameters():
+    config = PragmaConfig(tile_i=64, tile_j=16, tile_k=8, interchange="ikj",
+                          packing=True, unroll_jam=4)
+    assert PragmaConfig.from_parameters(config.as_parameters()) == config
+
+
+def test_mold_code_symbols_in_order():
+    mold = MoldCode(DEFAULT_MOLD_SOURCE)
+    assert mold.symbols() == ["P1", "P2", "P3", "P4", "P5", "P6"]
+
+
+def test_mold_code_instantiate_replaces_all_symbols():
+    mold = MoldCode()
+    source = mold.instantiate_config(PragmaConfig(tile_i=64, unroll_jam=4))
+    assert "#P" not in source
+    assert "tile size(64)" in source
+    assert "factor(4)" in source
+
+
+def test_mold_code_missing_symbol_raises():
+    mold = MoldCode("#pragma x(#P1) y(#P2)")
+    with pytest.raises(KeyError):
+        mold.instantiate({"P1": 3})
+
+
+# -- toolchain ----------------------------------------------------------------------
+
+
+def test_optimization_levels_ordered_by_efficiency():
+    results = {
+        level: ClangToolchain(level=level).compile().efficiency_multiplier
+        for level in OptimizationLevel
+    }
+    assert results[OptimizationLevel.O0] < results[OptimizationLevel.O2]
+    assert results[OptimizationLevel.O2] < results[OptimizationLevel.O3]
+    assert results[OptimizationLevel.OFAST] >= results[OptimizationLevel.O3]
+
+
+def test_extra_flags_affect_efficiency_and_compile_time():
+    plain = ClangToolchain(level=OptimizationLevel.O3).compile()
+    tuned = ClangToolchain(
+        level=OptimizationLevel.O3, extra_flags=("-march=native", "-flto")
+    ).compile()
+    assert tuned.efficiency_multiplier > plain.efficiency_multiplier
+    assert tuned.compile_time_s > plain.compile_time_s
+
+
+def test_unknown_flag_rejected():
+    with pytest.raises(ValueError):
+        ClangToolchain(extra_flags=("-fmystery",))
+
+
+def test_jit_compiles_faster_with_small_penalty():
+    toolchain = ClangToolchain(level=OptimizationLevel.O3)
+    normal = toolchain.compile()
+    jit = toolchain.compile(jit=True)
+    assert jit.compile_time_s < normal.compile_time_s
+    assert jit.efficiency_multiplier < normal.efficiency_multiplier
+    assert jit.jit
+
+
+def test_flag_space_is_nonempty():
+    space = ClangToolchain().flag_space()
+    assert "opt_level" in space and len(space["opt_level"]) == 5
+
+
+# -- libraries ----------------------------------------------------------------------------
+
+
+def test_library_variants_exist_and_validate():
+    assert "openmpi-busy" in MPI_VARIANTS and "libomp" in OPENMP_VARIANTS
+    with pytest.raises(ValueError):
+        LibraryStack(mpi="not-an-mpi")
+
+
+def test_library_stack_factors():
+    fast = LibraryStack(mpi="vendor-mpi", openmp="tbb-backend")
+    default = LibraryStack()
+    assert fast.comm_time_factor() < default.comm_time_factor()
+    assert fast.thread_overhead_factor() < default.thread_overhead_factor()
+    assert LibraryStack(mpi="openmpi-yield").wait_power_factor() < 1.0
+    assert set(LibraryStack.space()) == {"mpi", "openmp"}
+
+
+# -- plopper ---------------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def plopper_node():
+    return Cluster(ClusterSpec(n_nodes=1), seed=5).nodes[:1]
+
+
+def test_plopper_evaluates_configuration(plopper_node):
+    plopper = Plopper(plopper_node)
+    metrics = plopper.evaluate(
+        {"tile_i": 64, "tile_j": 64, "tile_k": 64, "interchange": "ikj",
+         "packing": False, "unroll_jam": 4}
+    )
+    assert metrics["runtime_s"] > 0
+    assert metrics["power_w"] > 0
+    assert metrics["code_efficiency"] > 0
+    assert len(plopper.database) == 1
+
+
+def test_plopper_good_config_beats_bad(plopper_node):
+    plopper = Plopper(plopper_node)
+    good = plopper.evaluate({"tile_i": 64, "tile_j": 64, "tile_k": 64,
+                             "interchange": "ikj", "unroll_jam": 4})
+    bad = plopper.evaluate({"tile_i": 4, "tile_j": 4, "tile_k": 4,
+                            "interchange": "kji", "unroll_jam": 1})
+    assert good["runtime_s"] < bad["runtime_s"]
+
+
+def test_plopper_power_cap_slows_kernel(plopper_node):
+    free = Plopper(plopper_node).evaluate({"tile_i": 64, "tile_j": 64, "tile_k": 64})
+    capped = Plopper(plopper_node, node_power_cap_w=220.0).evaluate(
+        {"tile_i": 64, "tile_j": 64, "tile_k": 64}
+    )
+    assert capped["runtime_s"] > free["runtime_s"]
+    assert capped["power_w"] < free["power_w"]
+
+
+def test_plopper_opt_level_matters(plopper_node):
+    plopper = Plopper(plopper_node)
+    o0 = plopper.evaluate({"opt_level": "-O0"})
+    o3 = plopper.evaluate({"opt_level": "-O3"})
+    assert o3["runtime_s"] < o0["runtime_s"]
+
+
+def test_plopper_parameter_space_contains_all_layers(plopper_node):
+    space = Plopper(plopper_node).parameter_space()
+    assert {"tile_i", "interchange", "opt_level", "threads", "frequency_ghz"} <= set(space)
+
+
+def test_plopper_requires_nodes():
+    with pytest.raises(ValueError):
+        Plopper([])

@@ -1,0 +1,214 @@
+"""Tests for translation, interfaces, the assembled stack and the end-to-end tuner."""
+
+import pytest
+
+from repro.analysis.survey import (
+    existing_components_table,
+    parameters_methods_table,
+    terms_table,
+    verify_component_paths,
+)
+from repro.analysis.reporting import ascii_timeseries, format_table, sparkline
+from repro.apps.generator import JobRequest
+from repro.apps.stream import DgemmKernel, StreamTriad
+from repro.core.endtoend import EndToEndTuner
+from repro.core.interfaces import LAYERS, TERMS
+from repro.core.stack import PowerStack, PowerStackConfig, replace_request
+from repro.core.translation import GoalTranslator
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.resource_manager.policies import SitePolicies
+from repro.resource_manager.slurm import SchedulerConfig
+
+
+# -- goal translation -------------------------------------------------------------------
+
+
+def test_site_to_systems_split_and_margin():
+    translator = GoalTranslator(margin_fraction=0.0)
+    budgets = translator.site_to_systems(100_000.0, {"sysA": 3.0, "sysB": 1.0})
+    assert budgets["sysA"] == pytest.approx(75_000.0)
+    assert budgets["sysB"] == pytest.approx(25_000.0)
+    assert len(translator.steps) == 1
+
+
+def test_system_to_jobs_proportional_to_nodes():
+    translator = GoalTranslator(margin_fraction=0.0)
+    budgets = translator.system_to_jobs(16_000.0, {"j1": 4, "j2": 2}, total_nodes=16)
+    assert budgets["j1"] == pytest.approx(2 * budgets["j2"])
+
+
+def test_job_to_nodes_respects_enforceable_range():
+    translator = GoalTranslator()
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=0)
+    budgets = translator.job_to_nodes(100.0, cluster.nodes)  # far below node minimums
+    for node in cluster.nodes:
+        assert budgets[node.hostname] == pytest.approx(node.spec.min_power_w)
+
+
+def test_job_to_nodes_demand_weighted():
+    translator = GoalTranslator()
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=0)
+    names = [n.hostname for n in cluster.nodes]
+    budgets = translator.job_to_nodes(
+        700.0, cluster.nodes, demand_weights={names[0]: 3.0, names[1]: 1.0}
+    )
+    assert budgets[names[0]] > budgets[names[1]]
+
+
+def test_node_to_components_covers_domains():
+    translator = GoalTranslator()
+    node = Cluster(ClusterSpec(n_nodes=1), seed=0).nodes[0]
+    shares = translator.node_to_components(node, 400.0)
+    assert "platform" in shares and "package-0" in shares and "package-1" in shares
+    assert sum(shares.values()) <= 400.0 + 1e-6
+
+
+def test_objective_translation_chain():
+    translator = GoalTranslator()
+    runtime_target = translator.throughput_goal_to_job_runtime(jobs_per_hour=60.0, concurrent_jobs=4)
+    assert runtime_target == pytest.approx(240.0)
+    per_step = translator.job_runtime_to_app_progress(runtime_target, iterations=100)
+    assert per_step == pytest.approx(2.4)
+    assert len(translator.trace()) == 2
+
+
+def test_upward_aggregation():
+    job_metrics = GoalTranslator.aggregate_node_metrics(
+        {"n0": {"runtime_s": 10.0, "energy_j": 1000.0}, "n1": {"runtime_s": 12.0, "energy_j": 1100.0}}
+    )
+    assert job_metrics["runtime_s"] == pytest.approx(12.0)
+    assert job_metrics["energy_j"] == pytest.approx(2100.0)
+    system = GoalTranslator.aggregate_job_metrics({"j1": job_metrics, "j2": job_metrics})
+    assert system["energy_j"] == pytest.approx(4200.0)
+    assert system["throughput_jobs_per_hour"] > 0
+
+
+def test_translation_validation():
+    translator = GoalTranslator()
+    with pytest.raises(ValueError):
+        translator.site_to_systems(-1.0, {"a": 1.0})
+    with pytest.raises(ValueError):
+        translator.system_to_jobs(100.0, {}, total_nodes=0)
+    with pytest.raises(ValueError):
+        GoalTranslator(margin_fraction=0.9)
+
+
+# -- interfaces / survey tables ---------------------------------------------------------------
+
+
+def test_layers_registry_covers_the_stack():
+    assert {"site", "system", "job", "application", "node", "system_software"} <= set(LAYERS)
+    for layer in LAYERS.values():
+        assert layer.objectives and layer.control_parameters and layer.telemetry
+
+
+def test_terms_include_paper_definitions():
+    assert "co-tuning" in TERMS and "end-to-end auto-tuning" in TERMS
+    assert "malleable job" in TERMS and "power corridor" in TERMS
+
+
+def test_table1_and_table3_rows():
+    table1 = parameters_methods_table()
+    assert len(table1) == len(LAYERS)
+    assert any("RAPL" in row["control_parameters"] for row in table1)
+    table3 = terms_table()
+    assert {"term", "definition"} <= set(table3[0])
+
+
+def test_table2_component_paths_resolve():
+    table2 = existing_components_table()
+    assert any(row["tool"] == "GEOPM" for row in table2)
+    verification = verify_component_paths()
+    assert all(verification.values()), f"unresolved paths: {verification}"
+
+
+# -- reporting helpers ---------------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+
+
+def test_sparkline_and_timeseries():
+    assert len(sparkline([5, 4, 3, 2, 1])) == 5
+    assert sparkline([]) == ""
+    plot = ascii_timeseries([0, 1, 2, 3], [100, 200, 150, 120], hlines={"cap": 180}, title="p")
+    assert "p" in plot and "*" in plot and "cap" in plot
+
+
+# -- PowerStack + end-to-end tuner ------------------------------------------------------------------
+
+
+def small_workload():
+    return [
+        JobRequest("w0", StreamTriad(n_iterations=4), nodes_requested=1, arrival_time_s=0.0),
+        JobRequest("w1", DgemmKernel(matrix_n=2048, n_iterations=3), nodes_requested=1,
+                   arrival_time_s=5.0),
+    ]
+
+
+def small_stack():
+    return PowerStack(
+        PowerStackConfig(
+            cluster=ClusterSpec(n_nodes=2),
+            policies=SitePolicies(system_power_budget_w=2 * 470.0),
+            scheduler=SchedulerConfig(scheduling_interval_s=5.0, monitor_interval_s=5.0),
+            seed=1,
+        )
+    )
+
+
+def test_replace_request_copies_params():
+    original = small_workload()[0]
+    clone = replace_request(original, params={"array_mib": 1024})
+    assert clone.params == {"array_mib": 1024}
+    assert original.params == {}
+    assert clone.job_id == original.job_id
+
+
+def test_powerstack_run_workload_metrics():
+    run = small_stack().run_workload(small_workload())
+    metrics = run.metrics()
+    assert metrics["jobs_completed"] == 2.0
+    assert metrics["runtime_s"] > 0
+    assert metrics["energy_j"] > 0
+    assert metrics["power_w"] > 0
+
+
+def test_powerstack_runs_are_independent():
+    stack = small_stack()
+    first = stack.run_workload(small_workload()).metrics()
+    second = stack.run_workload(small_workload()).metrics()
+    assert first["runtime_s"] == pytest.approx(second["runtime_s"], rel=1e-6)
+
+
+def test_end_to_end_tuner_small_run():
+    tuner = EndToEndTuner(
+        stack=small_stack(),
+        workload=small_workload(),
+        objective="energy",
+        system_power_cap_w=2 * 470.0,
+        tune_layers=("system", "runtime"),
+        search="random",
+        max_evals=4,
+        seed=0,
+    )
+    spaces = tuner.build_layer_spaces()
+    assert set(spaces) == {"system", "runtime"}
+    result = tuner.run()
+    assert result.cotuning.tuning.evaluations == 4
+    assert set(result.best_by_layer) <= {"system", "runtime"}
+    assert result.baseline_metrics["jobs_completed"] == 2.0
+    assert result.translation_trace  # the budget chain was recorded
+    assert isinstance(result.improvement_over_baseline("energy_j"), float)
+
+
+def test_end_to_end_tuner_requires_workload_and_layers():
+    with pytest.raises(ValueError):
+        EndToEndTuner(stack=small_stack(), workload=[])
+    tuner = EndToEndTuner(stack=small_stack(), workload=small_workload(), tune_layers=("nope",))
+    with pytest.raises(ValueError):
+        tuner.build_layer_spaces()

@@ -1,0 +1,156 @@
+"""Tests for the CPU package model (P-states, caps, execution)."""
+
+import pytest
+
+from repro.hardware.cpu import CpuPackage, CpuSpec
+from repro.hardware.variation import VariationDraw
+from repro.hardware.workload import PhaseDemand
+
+
+def compute_demand(seconds=1.0):
+    return PhaseDemand(
+        "compute", seconds, core_fraction=0.85, memory_fraction=0.1,
+        activity_factor=1.0, dram_intensity=0.2, ref_threads=28,
+    )
+
+
+def memory_demand(seconds=1.0):
+    return PhaseDemand(
+        "memory", seconds, core_fraction=0.1, memory_fraction=0.8,
+        activity_factor=0.55, dram_intensity=0.9, ref_threads=28,
+    )
+
+
+def test_cpu_spec_validation():
+    with pytest.raises(ValueError):
+        CpuSpec(cores=0)
+    with pytest.raises(ValueError):
+        CpuSpec(freq_min_ghz=3.0, freq_base_ghz=2.0)
+    with pytest.raises(ValueError):
+        CpuSpec(min_power_cap_w=300.0, tdp_w=200.0)
+
+
+def test_pstates_cover_range_descending():
+    spec = CpuSpec()
+    pstates = spec.pstates()
+    freqs = [p.frequency_ghz for p in pstates]
+    assert freqs[0] == pytest.approx(spec.freq_max_ghz)
+    assert freqs[-1] == pytest.approx(spec.freq_min_ghz)
+    assert freqs == sorted(freqs, reverse=True)
+
+
+def test_default_power_cap_is_tdp():
+    pkg = CpuPackage()
+    assert pkg.power_cap_w == pytest.approx(pkg.spec.tdp_w)
+
+
+def test_set_frequency_snaps_to_pstate():
+    pkg = CpuPackage()
+    granted = pkg.set_frequency(2.437)
+    assert granted <= 2.437
+    assert granted in [p.frequency_ghz for p in pkg.pstates]
+
+
+def test_set_frequency_clamped_to_range():
+    pkg = CpuPackage()
+    assert pkg.set_frequency(10.0) <= pkg.max_frequency_ghz
+    assert pkg.set_frequency(0.1) == pytest.approx(pkg.spec.freq_min_ghz)
+
+
+def test_set_uncore_clamped():
+    pkg = CpuPackage()
+    assert pkg.set_uncore_frequency(0.2) == pytest.approx(pkg.spec.uncore_min_ghz)
+    assert pkg.set_uncore_frequency(9.0) == pytest.approx(pkg.spec.uncore_max_ghz)
+
+
+def test_set_power_cap_clamped_and_reset():
+    pkg = CpuPackage()
+    assert pkg.set_power_cap(10.0) == pytest.approx(pkg.spec.min_power_cap_w)
+    assert pkg.set_power_cap(10_000.0) == pytest.approx(pkg.spec.tdp_w)
+    assert pkg.set_power_cap(None) == pytest.approx(pkg.spec.tdp_w)
+
+
+def test_power_cap_reduces_effective_frequency_for_compute():
+    pkg = CpuPackage()
+    pkg.set_frequency(pkg.spec.freq_base_ghz)
+    uncapped_freq, _ = pkg.effective_frequency(compute_demand())
+    pkg.set_power_cap(pkg.spec.min_power_cap_w)
+    capped_freq, capped = pkg.effective_frequency(compute_demand())
+    assert capped
+    assert capped_freq < uncapped_freq
+
+
+def test_memory_bound_tolerates_cap_better_than_compute():
+    pkg_a, pkg_b = CpuPackage(), CpuPackage()
+    for pkg in (pkg_a, pkg_b):
+        pkg.set_frequency(pkg.spec.freq_max_ghz)
+        pkg.set_power_cap(130.0)
+    freq_compute, _ = pkg_a.effective_frequency(compute_demand())
+    freq_memory, _ = pkg_b.effective_frequency(memory_demand())
+    assert freq_memory >= freq_compute
+
+
+def test_execute_respects_power_cap():
+    pkg = CpuPackage()
+    pkg.set_power_cap(120.0)
+    result = pkg.execute(compute_demand(), threads=28)
+    assert result.power_w <= 120.0 + 1e-6
+
+
+def test_execute_accumulates_energy_and_busy_time():
+    pkg = CpuPackage()
+    r1 = pkg.execute(compute_demand(), threads=28)
+    r2 = pkg.execute(compute_demand(), threads=28)
+    assert pkg.energy_j == pytest.approx(r1.energy_j + r2.energy_j)
+    assert pkg.busy_seconds == pytest.approx(r1.duration_s + r2.duration_s)
+
+
+def test_execute_lower_frequency_longer_duration_less_power():
+    fast, slow = CpuPackage(), CpuPackage()
+    fast.set_frequency(fast.spec.freq_base_ghz)
+    slow.set_frequency(slow.spec.freq_min_ghz)
+    r_fast = fast.execute(compute_demand(), threads=28)
+    r_slow = slow.execute(compute_demand(), threads=28)
+    assert r_slow.duration_s > r_fast.duration_s
+    assert r_slow.power_w < r_fast.power_w
+
+
+def test_execute_derived_efficiency_metrics():
+    pkg = CpuPackage()
+    result = pkg.execute(compute_demand(), threads=28)
+    assert result.flops_per_watt == pytest.approx(result.flops / result.power_w)
+    assert result.ipc_per_watt == pytest.approx(result.ipc / result.power_w)
+    assert result.energy_delay_product == pytest.approx(result.energy_j * result.duration_s)
+
+
+def test_execute_invalid_threads():
+    pkg = CpuPackage()
+    with pytest.raises(ValueError):
+        pkg.execute(compute_demand(), threads=0)
+
+
+def test_variation_scales_power():
+    efficient = CpuPackage(variation=VariationDraw(0.9, 1.0, 1.0))
+    hungry = CpuPackage(variation=VariationDraw(1.1, 1.0, 1.0))
+    p_eff = efficient.power_at(compute_demand())
+    p_hungry = hungry.power_at(compute_demand())
+    assert p_hungry > p_eff
+
+
+def test_variation_scales_turbo():
+    slow_part = CpuPackage(variation=VariationDraw(1.0, 0.9, 1.0))
+    fast_part = CpuPackage(variation=VariationDraw(1.0, 1.05, 1.0))
+    assert fast_part.max_frequency_ghz > slow_part.max_frequency_ghz
+
+
+def test_idle_power_below_loaded_power():
+    pkg = CpuPackage()
+    assert pkg.idle_power_w() < pkg.power_at(compute_demand())
+
+
+def test_temperature_rises_under_load():
+    pkg = CpuPackage()
+    start = pkg.thermal.temperature_c
+    for _ in range(20):
+        pkg.execute(compute_demand(5.0), threads=28)
+    assert pkg.thermal.temperature_c > start

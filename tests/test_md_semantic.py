@@ -1,0 +1,269 @@
+"""Tests for the MD proxy's semantic schedule and the semantic-aware runtime (§4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import SyntheticApplication, make_phase
+from repro.apps.md import ENSEMBLES, MolecularDynamics
+from repro.apps.mpi import MpiJobSimulator
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.runtime.base import RUNTIME_REGISTRY
+from repro.runtime.semantic import (
+    SemanticAwareRuntime,
+    SemanticKnobPolicy,
+    compare_semantic_hint_quality,
+)
+from repro.sim.rng import RandomStreams
+
+
+def fresh_nodes(cluster: Cluster):
+    for node in cluster.nodes:
+        node.allocated_to = None
+        node.set_power_cap(None)
+        node.set_frequency(node.spec.cpu.freq_base_ghz)
+        node.set_uncore_frequency(node.spec.cpu.uncore_max_ghz)
+    return cluster.nodes
+
+
+def run_md(cluster, hooks=None, timesteps=15, seed=3, **md_kwargs):
+    md = MolecularDynamics(n_timesteps=timesteps, **md_kwargs)
+    return MpiJobSimulator.evaluate(
+        fresh_nodes(cluster),
+        md,
+        {},
+        hooks=hooks,
+        streams=RandomStreams(seed),
+        job_id=f"md-{'tuned' if hooks else 'base'}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# MolecularDynamics application model
+# ---------------------------------------------------------------------------
+def test_md_constructor_validation():
+    with pytest.raises(ValueError):
+        MolecularDynamics(n_atoms=0)
+    with pytest.raises(ValueError):
+        MolecularDynamics(n_timesteps=0)
+    with pytest.raises(ValueError):
+        MolecularDynamics(cutoff_sigma=0.0)
+    with pytest.raises(ValueError):
+        MolecularDynamics(rebuild_interval=0)
+    with pytest.raises(ValueError):
+        MolecularDynamics(ensemble="microcanonical-ish")
+
+
+def test_md_parameter_space_and_defaults_are_consistent():
+    md = MolecularDynamics()
+    space = md.parameter_space()
+    defaults = md.default_parameters()
+    assert set(defaults) == set(space)
+    assert defaults["ensemble"] in ENSEMBLES
+    validated = md.validate_parameters({"cutoff_sigma": 3.0})
+    assert validated["cutoff_sigma"] == 3.0
+    with pytest.raises(ValueError):
+        md.validate_parameters({"cutoff_sigma": 9.9})
+
+
+def test_md_rebuild_steps_follow_interval():
+    md = MolecularDynamics(n_timesteps=10, rebuild_interval=5)
+    params = md.default_parameters()
+    schedule = md.semantic_schedule(params)
+    rebuild_steps = [s["timestep"] for s in schedule if s["neighbor_rebuild"]]
+    assert rebuild_steps == [0, 5]
+
+
+def test_md_iteration_phases_differ_between_rebuild_and_plain_steps():
+    md = MolecularDynamics(rebuild_interval=5)
+    params = md.default_parameters()
+    rebuild_names = [p.name for p in md.iteration_phase_sequence(params, 4, 1, 0)]
+    plain_names = [p.name for p in md.iteration_phase_sequence(params, 4, 1, 1)]
+    assert "neighbor_rebuild" in rebuild_names
+    assert "neighbor_rebuild" not in plain_names
+    assert "pair_force" in plain_names
+
+
+def test_md_nve_has_no_thermostat():
+    md = MolecularDynamics(ensemble="nve", thermo_interval=5)
+    params = md.default_parameters()
+    names = [p.name for p in md.iteration_phase_sequence(params, 2, 1, 0)]
+    assert "thermostat_reduce" not in names
+    assert md.semantic_state(params, 0)["thermostat"] is False
+
+
+def test_md_larger_cutoff_means_more_force_work():
+    md = MolecularDynamics()
+    small = md._force_phase(md.validate_parameters({"cutoff_sigma": 2.0}), 4)
+    large = md._force_phase(md.validate_parameters({"cutoff_sigma": 3.5}), 4)
+    assert large.ref_seconds > small.ref_seconds
+
+
+def test_md_newton_third_law_halves_pair_work():
+    md = MolecularDynamics()
+    on = md._force_phase(md.validate_parameters({"newton_third_law": True}), 4)
+    off = md._force_phase(md.validate_parameters({"newton_third_law": False}), 4)
+    assert on.ref_seconds < off.ref_seconds
+
+
+def test_md_phase_fractions_are_valid_for_many_node_counts():
+    md = MolecularDynamics()
+    params = md.default_parameters()
+    for nodes in (1, 2, 4, 16, 64):
+        for iteration in (0, 1, 9, 10):
+            for phase in md.iteration_phase_sequence(params, nodes, 1, iteration):
+                total = phase.core_fraction + phase.memory_fraction + phase.comm_fraction
+                assert total <= 1.0 + 1e-9
+
+
+def test_md_semantic_state_declares_memory_on_rebuild_steps():
+    md = MolecularDynamics(rebuild_interval=4)
+    params = md.default_parameters()
+    assert md.semantic_state(params, 0)["dominant_kind"] == "memory"
+    assert md.semantic_state(params, 1)["dominant_kind"] == "compute"
+    assert (
+        md.semantic_state(params, 0)["memory_fraction_estimate"]
+        > md.semantic_state(params, 1)["memory_fraction_estimate"]
+    )
+
+
+def test_md_runs_end_to_end_and_counts_all_timesteps():
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=1)
+    result = run_md(cluster, timesteps=6)
+    assert result.iterations_done == 6
+    assert result.runtime_s > 0
+    regions = {r.region for r in result.region_records}
+    assert {"pair_force", "integrate", "halo_exchange", "neighbor_rebuild"} <= regions
+
+
+def test_generic_applications_keep_default_semantic_behaviour():
+    app = SyntheticApplication("plain", [make_phase("work", 1.0)], n_iterations=2)
+    assert app.semantic_state({}, 0) == {}
+    assert [p.name for p in app.iteration_phase_sequence({}, 2, 1, 1)] == ["work"]
+
+
+# ---------------------------------------------------------------------------
+# SemanticKnobPolicy
+# ---------------------------------------------------------------------------
+def test_policy_validation_rejects_out_of_range_fractions():
+    with pytest.raises(ValueError):
+        SemanticKnobPolicy(memory_core=0.0)
+    with pytest.raises(ValueError):
+        SemanticKnobPolicy(compute_uncore=2.0)
+
+
+def test_policy_kind_lookup():
+    policy = SemanticKnobPolicy()
+    assert policy.for_kind("compute") == (policy.compute_core, policy.compute_uncore)
+    assert policy.for_kind("memory") == (policy.memory_core, policy.memory_uncore)
+    assert policy.for_kind("communication") == (
+        policy.communication_core,
+        policy.communication_uncore,
+    )
+    assert policy.for_kind("???") == (policy.default_core, policy.default_uncore)
+
+
+# ---------------------------------------------------------------------------
+# SemanticAwareRuntime
+# ---------------------------------------------------------------------------
+def test_semantic_runtime_is_registered():
+    assert "semantic" in RUNTIME_REGISTRY
+    assert RUNTIME_REGISTRY["semantic"] is SemanticAwareRuntime
+
+
+def test_semantic_runtime_saves_energy_on_md_at_bounded_slowdown():
+    cluster = Cluster(ClusterSpec(n_nodes=4), seed=3)
+    baseline = run_md(cluster, hooks=None, timesteps=15)
+    runtime = SemanticAwareRuntime()
+    tuned = run_md(cluster, hooks=runtime, timesteps=15)
+    saving = 1.0 - tuned.energy_j / baseline.energy_j
+    slowdown = tuned.runtime_s / baseline.runtime_s - 1.0
+    assert saving > 0.01
+    assert slowdown < 0.10
+    assert runtime.informed_iterations == 15
+    assert runtime.adjustments > 0
+
+
+def test_semantic_runtime_lowers_frequency_for_memory_regions():
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=5)
+    md = MolecularDynamics(n_timesteps=1, rebuild_interval=1)
+    seen = {}
+
+    class Recorder(SemanticAwareRuntime):
+        name = "semantic_recorder"
+
+        def on_region_enter(self, sim, region, iteration):
+            super().on_region_enter(sim, region, iteration)
+            seen[region.name] = sim.nodes[0].packages[0].frequency_ghz
+
+    MpiJobSimulator.evaluate(
+        fresh_nodes(cluster), md, {}, hooks=Recorder(), streams=RandomStreams(5), job_id="rec"
+    )
+    assert seen["neighbor_rebuild"] < seen["pair_force"]
+    assert seen["halo_exchange"] < seen["pair_force"]
+
+
+def test_semantic_runtime_restores_defaults_at_job_end():
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=6)
+    run_md(cluster, hooks=SemanticAwareRuntime(), timesteps=3)
+    for node in cluster.nodes:
+        assert node.packages[0].frequency_ghz == pytest.approx(node.spec.cpu.freq_base_ghz)
+        assert node.packages[0].uncore_ghz == pytest.approx(node.spec.cpu.uncore_max_ghz)
+
+
+def test_semantic_runtime_handles_apps_without_semantics():
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=7)
+    app = SyntheticApplication(
+        "plain", [make_phase("work", 1.0, kind="mixed", ref_threads=56)], n_iterations=3
+    )
+    runtime = SemanticAwareRuntime()
+    result = MpiJobSimulator.evaluate(
+        fresh_nodes(cluster), app, {}, hooks=runtime, streams=RandomStreams(7), job_id="plain"
+    )
+    assert result.iterations_done == 3
+    assert runtime.informed_iterations == 0  # no hints published
+
+
+def test_hint_quality_diagnostic_scores_md_hints_highly():
+    cluster = Cluster(ClusterSpec(n_nodes=2), seed=8)
+    md = MolecularDynamics(n_timesteps=10, rebuild_interval=2)
+    result = MpiJobSimulator.evaluate(
+        fresh_nodes(cluster), md, {}, streams=RandomStreams(8), job_id="hints"
+    )
+    hints = {i: md.semantic_state(md.default_parameters(), i) for i in range(10)}
+    quality = compare_semantic_hint_quality(result.region_records, hints)
+    assert quality["scored_iterations"] == 10.0
+    assert quality["hit_fraction"] >= 0.8
+
+
+def test_hint_quality_diagnostic_empty_records():
+    quality = compare_semantic_hint_quality([], {})
+    assert quality == {"scored_iterations": 0.0, "hit_fraction": 0.0}
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    rebuild=st.integers(min_value=1, max_value=10),
+    steps=st.integers(min_value=1, max_value=30),
+)
+def test_property_semantic_schedule_matches_iteration_phases(rebuild, steps):
+    md = MolecularDynamics(n_timesteps=steps, rebuild_interval=rebuild)
+    params = md.default_parameters()
+    for i in range(steps):
+        state = md.semantic_state(params, i)
+        names = [p.name for p in md.iteration_phase_sequence(params, 2, 1, i)]
+        assert state["neighbor_rebuild"] == ("neighbor_rebuild" in names)
+        assert state["thermostat"] == ("thermostat_reduce" in names)
+
+
+@settings(max_examples=15, deadline=None)
+@given(nodes=st.integers(min_value=1, max_value=32))
+def test_property_md_work_strong_scales_with_nodes(nodes):
+    md = MolecularDynamics()
+    params = md.default_parameters()
+    one = md._force_phase(params, 1).ref_seconds
+    many = md._force_phase(params, nodes).ref_seconds
+    assert many == pytest.approx(one / nodes)

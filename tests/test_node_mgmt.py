@@ -1,0 +1,184 @@
+"""Tests for node-level management: DVFS, power cap manager, duty cycle, monitor."""
+
+import pytest
+
+from repro.hardware.node import Node
+from repro.hardware.workload import PhaseDemand
+from repro.node_mgmt.dutycycle import DutyCycleModulator
+from repro.node_mgmt.dvfs import DvfsGovernor, GovernorPolicy
+from repro.node_mgmt.monitor import NodeMonitor
+from repro.node_mgmt.powercap import NodePowerCapManager
+from repro.sim.engine import Environment
+
+
+def compute_demand():
+    return PhaseDemand("c", 1.0, core_fraction=0.85, memory_fraction=0.1, ref_threads=56)
+
+
+def memory_demand():
+    return PhaseDemand("m", 1.0, core_fraction=0.1, memory_fraction=0.8,
+                       activity_factor=0.5, dram_intensity=0.9, ref_threads=56)
+
+
+# -- DVFS governor -----------------------------------------------------------------
+
+
+def test_performance_governor_sets_max_frequency():
+    node = Node()
+    DvfsGovernor(node, GovernorPolicy.PERFORMANCE)
+    assert node.packages[0].frequency_ghz == pytest.approx(
+        node.packages[0].clamp_frequency(node.spec.cpu.freq_max_ghz)
+    )
+
+
+def test_powersave_governor_sets_min_frequency():
+    node = Node()
+    DvfsGovernor(node, GovernorPolicy.POWERSAVE)
+    assert node.packages[0].frequency_ghz == pytest.approx(node.spec.cpu.freq_min_ghz)
+
+
+def test_pin_switches_to_userspace():
+    node = Node()
+    governor = DvfsGovernor(node)
+    granted = governor.pin(1.8)
+    assert governor.policy is GovernorPolicy.USERSPACE
+    assert governor.pinned_ghz == pytest.approx(granted)
+    governor.unpin()
+    assert governor.policy is GovernorPolicy.PERFORMANCE
+
+
+def test_ondemand_adapts_to_phase_character():
+    node = Node()
+    governor = DvfsGovernor(node, GovernorPolicy.ONDEMAND)
+    high = governor.adapt(compute_demand())
+    low = governor.adapt(memory_demand())
+    assert high > low
+
+
+def test_adapt_is_noop_for_static_policies():
+    node = Node()
+    governor = DvfsGovernor(node, GovernorPolicy.PERFORMANCE)
+    before = node.packages[0].frequency_ghz
+    governor.adapt(memory_demand())
+    assert node.packages[0].frequency_ghz == pytest.approx(before)
+
+
+# -- power cap manager --------------------------------------------------------------
+
+
+def test_powercap_manager_set_and_headroom():
+    node = Node()
+    manager = NodePowerCapManager(node)
+    cap = manager.set_cap(400.0)
+    assert cap == pytest.approx(400.0)
+    manager.observe(320.0)
+    status = manager.status()
+    assert status.headroom_w == pytest.approx(80.0)
+    assert not status.capped
+
+
+def test_powercap_manager_detects_capped_state():
+    node = Node()
+    manager = NodePowerCapManager(node)
+    manager.set_cap(300.0)
+    manager.observe(299.0)
+    assert manager.status().capped
+
+
+def test_powercap_manager_uncapped_headroom_infinite():
+    manager = NodePowerCapManager(Node())
+    manager.set_cap(None)
+    assert manager.headroom_w() == float("inf")
+
+
+def test_powercap_manager_clamps_to_enforceable_range():
+    node = Node()
+    manager = NodePowerCapManager(node)
+    assert manager.set_cap(1.0) == pytest.approx(node.spec.min_power_w)
+    assert manager.set_cap(10_000.0) == pytest.approx(node.max_power_w())
+
+
+def test_powercap_manager_estimates_demand():
+    node = Node()
+    manager = NodePowerCapManager(node)
+    estimate = manager.estimated_uncapped_power_w(compute_demand())
+    assert node.idle_power_w() < estimate <= node.max_power_w() * 1.2
+
+
+# -- duty cycle ------------------------------------------------------------------------
+
+
+def test_duty_cycle_levels_are_snapped():
+    modulator = DutyCycleModulator()
+    setting = modulator.set_level(0.63)
+    assert setting.level in DutyCycleModulator.supported_levels()
+
+
+def test_duty_cycle_full_level_is_neutral():
+    modulator = DutyCycleModulator(overhead_fraction=0.0)
+    setting = modulator.set_level(1.0)
+    assert setting.slowdown_factor == pytest.approx(1.0)
+    assert setting.power_factor == pytest.approx(1.0)
+
+
+def test_duty_cycle_lower_level_slower_but_cheaper():
+    modulator = DutyCycleModulator()
+    half = modulator.set_level(0.5)
+    assert half.slowdown_factor > 1.5
+    assert half.power_factor < 0.7
+
+
+def test_duty_cycle_level_for_power_fraction():
+    modulator = DutyCycleModulator()
+    level = modulator.level_for_power_fraction(0.6)
+    assert level + 0.1 * (1 - level) <= 0.6 + 1e-9
+    with pytest.raises(ValueError):
+        modulator.level_for_power_fraction(0.0)
+
+
+def test_duty_cycle_validation():
+    with pytest.raises(ValueError):
+        DutyCycleModulator(overhead_fraction=0.9)
+    with pytest.raises(ValueError):
+        DutyCycleModulator().set_level(0.0)
+
+
+# -- node monitor ----------------------------------------------------------------------
+
+
+def test_monitor_samples_periodically():
+    env = Environment()
+    node = Node()
+    monitor = NodeMonitor(env, node, interval_s=2.0)
+    monitor.start()
+    env.run(until=10.0)
+    assert len(monitor.samples) == 6  # t = 0, 2, 4, 6, 8, 10
+    assert monitor.average_power_w() > 0
+    assert monitor.utilization() == 0.0
+
+
+def test_monitor_tracks_allocation_and_callback():
+    env = Environment()
+    node = Node()
+    seen = []
+    monitor = NodeMonitor(env, node, interval_s=1.0, callback=seen.append)
+    node.allocate("job-1")
+    monitor.start()
+    env.run(until=3.0)
+    assert monitor.utilization() == 1.0
+    assert len(seen) == len(monitor.samples)
+
+
+def test_monitor_stop():
+    env = Environment()
+    monitor = NodeMonitor(env, Node(), interval_s=1.0)
+    monitor.start()
+    env.run(until=2.0)
+    monitor.stop()
+    env.run(until=10.0)
+    assert len(monitor.samples) <= 4
+
+
+def test_monitor_interval_validation():
+    with pytest.raises(ValueError):
+        NodeMonitor(Environment(), Node(), interval_s=0.0)

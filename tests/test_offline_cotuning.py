@@ -1,0 +1,225 @@
+"""Tests for the offline/static software-stack co-tuning study (§4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import SyntheticApplication, make_phase
+from repro.apps.hypre import HypreLaplacian
+from repro.compiler.clang import OptimizationLevel
+from repro.compiler.libraries import MPI_VARIANTS
+from repro.compiler.offline import (
+    OfflineCoTuningStudy,
+    SoftwareAdjustedApplication,
+    SoftwareStackConfig,
+)
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+
+def two_nodes(seed: int = 11):
+    return Cluster(ClusterSpec(n_nodes=2), seed=seed).nodes
+
+
+def mpi_heavy_app(iterations: int = 4) -> SyntheticApplication:
+    return SyntheticApplication(
+        "halo_app",
+        [
+            make_phase("compute", 2.0, kind="mixed", ref_threads=56),
+            make_phase("exchange", 1.0, kind="mpi", comm_fraction=0.7, ref_threads=56),
+        ],
+        n_iterations=iterations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SoftwareStackConfig
+# ---------------------------------------------------------------------------
+def test_config_space_covers_every_field():
+    space = SoftwareStackConfig.space()
+    assert set(space) == set(SoftwareStackConfig().as_dict())
+    assert set(space["opt_level"]) == {lvl.value for lvl in OptimizationLevel}
+    assert set(space["mpi"]) == set(MPI_VARIANTS)
+
+
+def test_config_builds_toolchain_with_selected_flags():
+    config = SoftwareStackConfig(opt_level="-O3", march_native=True, fast_math=True)
+    toolchain = config.toolchain()
+    assert toolchain.level is OptimizationLevel.O3
+    assert "-march=native" in toolchain.extra_flags
+    assert "-ffast-math" in toolchain.extra_flags
+
+
+def test_config_rejects_unknown_library_variant():
+    with pytest.raises(ValueError):
+        SoftwareStackConfig(mpi="magic-mpi").libraries()
+
+
+# ---------------------------------------------------------------------------
+# SoftwareAdjustedApplication
+# ---------------------------------------------------------------------------
+def test_adjusted_app_preserves_total_work_split_validity():
+    config = SoftwareStackConfig(opt_level="-Ofast", mpi="vendor-mpi", openmp="libgomp")
+    wrapped = SoftwareAdjustedApplication(
+        mpi_heavy_app(), config.toolchain().compile(), config.libraries()
+    )
+    for phase in wrapped.phase_sequence({}, nodes=2, ranks_per_node=1):
+        total = phase.core_fraction + phase.memory_fraction + phase.comm_fraction
+        assert 0.0 <= total <= 1.0 + 1e-9
+        assert phase.ref_seconds > 0
+
+
+def test_adjusted_app_better_compiler_shrinks_compute_time():
+    app = mpi_heavy_app()
+    slow = SoftwareAdjustedApplication(
+        app, SoftwareStackConfig(opt_level="-O0").toolchain().compile(),
+        SoftwareStackConfig().libraries(),
+    )
+    fast = SoftwareAdjustedApplication(
+        app, SoftwareStackConfig(opt_level="-Ofast", march_native=True).toolchain().compile(),
+        SoftwareStackConfig().libraries(),
+    )
+    slow_compute = slow.phase_sequence({}, 2, 1)[0].ref_seconds
+    fast_compute = fast.phase_sequence({}, 2, 1)[0].ref_seconds
+    assert fast_compute < slow_compute
+
+
+def test_adjusted_app_better_mpi_shrinks_comm_time():
+    app = mpi_heavy_app()
+    compiled = SoftwareStackConfig().toolchain().compile()
+    busy = SoftwareAdjustedApplication(app, compiled, SoftwareStackConfig(mpi="openmpi-busy").libraries())
+    vendor = SoftwareAdjustedApplication(app, compiled, SoftwareStackConfig(mpi="vendor-mpi").libraries())
+    busy_exchange = busy.phase_sequence({}, 2, 1)[1]
+    vendor_exchange = vendor.phase_sequence({}, 2, 1)[1]
+    assert vendor_exchange.ref_seconds < busy_exchange.ref_seconds
+
+
+def test_adjusted_app_delegates_interface_to_inner():
+    inner = HypreLaplacian()
+    config = SoftwareStackConfig()
+    wrapped = SoftwareAdjustedApplication(inner, config.toolchain().compile(), config.libraries())
+    assert wrapped.parameter_space() == inner.parameter_space()
+    assert wrapped.iterations(wrapped.default_parameters()) == inner.iterations(
+        inner.default_parameters()
+    )
+    assert wrapped.rank_constraint(7) == inner.rank_constraint(7)
+    assert inner.name in wrapped.name
+
+
+# ---------------------------------------------------------------------------
+# OfflineCoTuningStudy
+# ---------------------------------------------------------------------------
+def test_study_requires_nodes():
+    with pytest.raises(ValueError):
+        OfflineCoTuningStudy([], HypreLaplacian())
+
+
+def test_study_optimisation_level_changes_runtime():
+    study = OfflineCoTuningStudy(two_nodes(), mpi_heavy_app(), seed=11)
+    o0 = study.evaluate(SoftwareStackConfig(opt_level="-O0"))
+    o3 = study.evaluate(SoftwareStackConfig(opt_level="-O3", march_native=True))
+    assert o3["runtime_s"] < o0["runtime_s"]
+    assert len(study.database) == 2
+
+
+def test_study_faster_mpi_variant_lowers_runtime():
+    study = OfflineCoTuningStudy(two_nodes(), mpi_heavy_app(), seed=13)
+    busy = study.evaluate(SoftwareStackConfig(mpi="openmpi-busy"))
+    vendor = study.evaluate(SoftwareStackConfig(mpi="vendor-mpi"))
+    assert vendor["runtime_s"] < busy["runtime_s"]
+
+
+def test_library_wait_hooks_apply_wait_power_factor():
+    from repro.apps.mpi import busy_wait_power_w
+    from repro.compiler.offline import _LibraryWaitHooks
+
+    node = two_nodes()[0]
+    phase = mpi_heavy_app().phase_sequence({}, 2, 1)[1]
+    yielding = _LibraryWaitHooks(SoftwareStackConfig(mpi="openmpi-yield").libraries())
+    busy = _LibraryWaitHooks(SoftwareStackConfig(mpi="openmpi-busy").libraries())
+    assert yielding.wait_power_w(None, node, phase, 1.0) == pytest.approx(
+        busy_wait_power_w(node) * 0.6
+    )
+    assert busy.wait_power_w(None, node, phase, 1.0) == pytest.approx(busy_wait_power_w(node))
+
+
+def test_study_compile_time_only_counted_when_requested():
+    nodes = two_nodes()
+    with_jit = OfflineCoTuningStudy(nodes, mpi_heavy_app(), include_compile_time=True, seed=1)
+    without = OfflineCoTuningStudy(nodes, mpi_heavy_app(), include_compile_time=False, seed=1)
+    config = SoftwareStackConfig(opt_level="-O3")
+    slow = with_jit.evaluate(config)
+    fast = without.evaluate(config)
+    assert slow["runtime_s"] == pytest.approx(fast["runtime_s"] + slow["compile_time_s"])
+
+
+def test_flag_impact_reports_every_alternative_once():
+    study = OfflineCoTuningStudy(two_nodes(), mpi_heavy_app(), seed=3)
+    rows = study.flag_impact(metrics=("runtime_s",))
+    space = SoftwareStackConfig.space()
+    expected = sum(len(values) - 1 for values in space.values())
+    assert len(rows) == expected
+    o0_row = next(r for r in rows if r["knob"] == "opt_level" and r["value"] == "-O0")
+    assert o0_row["runtime_s_change"] > 0.5  # -O0 is much slower than -O2
+
+
+def test_characteristic_correlations_have_expected_signs():
+    study = OfflineCoTuningStudy(two_nodes(), mpi_heavy_app(), seed=5)
+    configs = [
+        SoftwareStackConfig(opt_level=lvl)
+        for lvl in ("-O0", "-O1", "-O2", "-O3", "-Ofast")
+    ] + [SoftwareStackConfig(mpi=m) for m in MPI_VARIANTS]
+    corr = study.characteristic_correlations(configs, targets=("runtime_s", "energy_j"))
+    # Better code efficiency => lower runtime (strong negative correlation).
+    assert corr["code_efficiency"]["runtime_s"] < -0.6
+    assert set(corr) == {"code_efficiency", "comm_time_factor", "wait_power_factor"}
+
+
+def test_correlation_constant_characteristic_is_zero():
+    study = OfflineCoTuningStudy(two_nodes(), mpi_heavy_app(), seed=6)
+    configs = [SoftwareStackConfig(), SoftwareStackConfig(fast_math=True)]
+    corr = study.characteristic_correlations(
+        configs, characteristics=("comm_time_factor",), targets=("runtime_s",)
+    )
+    assert corr["comm_time_factor"]["runtime_s"] == 0.0
+
+
+def test_study_under_power_cap_changes_flag_value():
+    """The same flag buys less under a power cap (the §4.2/§3.2.3 interaction)."""
+    nodes = two_nodes()
+    app = SyntheticApplication(
+        "compute_app",
+        [make_phase("kernel", 3.0, kind="compute", ref_threads=56)],
+        n_iterations=4,
+    )
+    uncapped = OfflineCoTuningStudy(nodes, app, node_power_cap_w=None, seed=7)
+    capped = OfflineCoTuningStudy(nodes, app, node_power_cap_w=240.0, seed=7)
+    base, best = SoftwareStackConfig(opt_level="-O2"), SoftwareStackConfig(
+        opt_level="-Ofast", march_native=True
+    )
+    gain_uncapped = 1.0 - uncapped.evaluate(best)["runtime_s"] / uncapped.evaluate(base)["runtime_s"]
+    gain_capped = 1.0 - capped.evaluate(best)["runtime_s"] / capped.evaluate(base)["runtime_s"]
+    assert gain_uncapped > 0
+    assert gain_capped > 0
+    # Under the cap the faster code is throttled harder, so the flag's gain shrinks.
+    assert gain_capped <= gain_uncapped + 0.02
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    opt=st.sampled_from([lvl.value for lvl in OptimizationLevel]),
+    mpi=st.sampled_from(sorted(MPI_VARIANTS)),
+    native=st.booleans(),
+)
+def test_property_adjusted_phases_always_valid(opt, mpi, native):
+    config = SoftwareStackConfig(opt_level=opt, mpi=mpi, march_native=native)
+    wrapped = SoftwareAdjustedApplication(
+        mpi_heavy_app(), config.toolchain().compile(), config.libraries()
+    )
+    for nodes in (1, 4):
+        for phase in wrapped.phase_sequence({}, nodes, 1):
+            assert phase.ref_seconds > 0
+            total = phase.core_fraction + phase.memory_fraction + phase.comm_fraction
+            assert total <= 1.0 + 1e-9

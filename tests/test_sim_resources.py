@@ -1,0 +1,170 @@
+"""Tests for DES resources: Resource, PriorityResource, Container, Store."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    r1, r2, r3 = resource.request(), resource.request(), resource.request()
+    env.run()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert resource.count == 2
+    assert len(resource.queue) == 1
+
+
+def test_resource_release_wakes_waiter():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    r1 = resource.request()
+    r2 = resource.request()
+    env.run()
+    assert not r2.triggered
+    resource.release(r1)
+    env.run()
+    assert r2.triggered
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def user(env, tag, hold):
+        with resource.request() as req:
+            yield req
+            order.append(("start", tag, env.now))
+            yield env.timeout(hold)
+        order.append(("end", tag, env.now))
+
+    env.process(user(env, "a", 2.0))
+    env.process(user(env, "b", 1.0))
+    env.run()
+    assert order[0] == ("start", "a", 0.0)
+    assert ("start", "b", 2.0) in order
+    assert env.now == pytest.approx(3.0)
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    resource.request()
+    waiting = resource.request()
+    env.run()
+    waiting.cancel()
+    assert waiting not in resource.queue
+
+
+def test_priority_resource_orders_queue():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    holder = resource.request(priority=0)
+    low = resource.request(priority=10)
+    high = resource.request(priority=-5)
+    env.run()
+    resource.release(holder)
+    env.run()
+    assert high.triggered
+    assert not low.triggered
+
+
+def test_container_put_get_levels():
+    env = Environment()
+    container = Container(env, capacity=100.0, init=50.0)
+    container.get(30.0)
+    env.run()
+    assert container.level == pytest.approx(20.0)
+    container.put(60.0)
+    env.run()
+    assert container.level == pytest.approx(80.0)
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    container = Container(env, capacity=100.0, init=0.0)
+    get = container.get(10.0)
+    env.run()
+    assert not get.triggered
+    container.put(15.0)
+    env.run()
+    assert get.triggered
+    assert container.level == pytest.approx(5.0)
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=-1)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    container = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        container.put(0)
+    with pytest.raises(ValueError):
+        container.get(-1)
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    container = Container(env, capacity=10.0, init=8.0)
+    put = container.put(5.0)
+    env.run()
+    assert not put.triggered
+    container.get(4.0)
+    env.run()
+    assert put.triggered
+    assert container.level == pytest.approx(9.0)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    g1, g2 = store.get(), store.get()
+    env.run()
+    assert g1.value == "a"
+    assert g2.value == "b"
+
+
+def test_store_get_waits_for_item():
+    env = Environment()
+    store = Store(env)
+    get = store.get()
+    env.run()
+    assert not get.triggered
+    store.put("late")
+    env.run()
+    assert get.value == "late"
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put("x")
+    second = store.put("y")
+    env.run()
+    assert not second.triggered
+    store.get()
+    env.run()
+    assert second.triggered
+    assert len(store) == 1
+
+
+def test_store_len_tracks_items():
+    env = Environment()
+    store = Store(env)
+    for i in range(5):
+        store.put(i)
+    env.run()
+    assert len(store) == 5

@@ -1,0 +1,58 @@
+"""Tests for the reproducible named random streams."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream_values():
+    a = RandomStreams(42).stream("x")
+    b = RandomStreams(42).stream("x")
+    assert np.allclose(a.random(10), b.random(10))
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(1)
+    a = streams.stream("alpha").random(5)
+    b = streams.stream("beta").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x").random(5)
+    b = RandomStreams(2).stream("x").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_stream_is_cached_not_recreated():
+    streams = RandomStreams(3)
+    first = streams.stream("s")
+    first.random(3)
+    assert streams.stream("s") is first
+
+
+def test_creation_order_does_not_matter():
+    one = RandomStreams(7)
+    one.stream("a")
+    a_then_b = one.stream("b").random(4)
+    two = RandomStreams(7)
+    b_only = two.stream("b").random(4)
+    assert np.allclose(a_then_b, b_only)
+
+
+def test_spawn_is_deterministic_and_distinct():
+    parent = RandomStreams(5)
+    child1 = parent.spawn("job-1")
+    child2 = RandomStreams(5).spawn("job-1")
+    other = parent.spawn("job-2")
+    assert np.allclose(child1.stream("x").random(4), child2.stream("x").random(4))
+    assert not np.allclose(
+        RandomStreams(5).spawn("job-1").stream("x").random(4), other.stream("x").random(4)
+    )
+
+
+def test_names_lists_created_streams():
+    streams = RandomStreams(0)
+    streams.stream("one")
+    streams.stream("two")
+    assert set(streams.names()) == {"one", "two"}

@@ -1,0 +1,220 @@
+"""Tests for metrics, counters, samplers and the performance database."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.counters import CounterSnapshot, TelemetryAccumulator
+from repro.telemetry.database import EvaluationRecord, PerformanceDatabase
+from repro.telemetry.metrics import (
+    METRIC_REGISTRY,
+    derived_metrics,
+    energy_delay_product,
+    energy_delay_squared_product,
+)
+from repro.telemetry.sampler import PowerTimeSeries, SlidingWindow
+
+
+# -- metrics --------------------------------------------------------------------
+
+
+def test_registry_contains_paper_metrics():
+    expected = {"power_w", "energy_j", "runtime_s", "frequency_ghz", "flops", "ipc",
+                "flops_per_watt", "ipc_per_watt", "edp", "ed2p", "flops_per_joule"}
+    assert expected <= set(METRIC_REGISTRY)
+
+
+def test_registry_directions():
+    assert METRIC_REGISTRY["runtime_s"].minimize
+    assert METRIC_REGISTRY["flops_per_watt"].maximize
+
+
+def test_edp_and_ed2p():
+    assert energy_delay_product(100.0, 2.0) == pytest.approx(200.0)
+    assert energy_delay_squared_product(100.0, 2.0) == pytest.approx(400.0)
+    with pytest.raises(ValueError):
+        energy_delay_product(-1.0, 2.0)
+
+
+def test_derived_metrics_complete_set():
+    measured = {"energy_j": 1000.0, "runtime_s": 10.0, "power_w": 100.0,
+                "flops": 1e12, "ipc": 1.5, "frequency_ghz": 2.4}
+    derived = derived_metrics(measured)
+    assert derived["edp"] == pytest.approx(10_000.0)
+    assert derived["flops_per_watt"] == pytest.approx(1e10)
+    assert derived["ipc_per_watt"] == pytest.approx(0.015)
+    assert derived["flops_per_joule"] == pytest.approx(1e12 * 10 / 1000)
+    assert derived["ips"] == pytest.approx(1.5 * 2.4e9)
+
+
+def test_derived_metrics_partial_inputs():
+    assert "edp" not in derived_metrics({"energy_j": 10.0})
+    assert derived_metrics({}) == {}
+
+
+# -- counters --------------------------------------------------------------------
+
+
+def test_counter_snapshot_delta():
+    a = CounterSnapshot(0.0, 0.0, 0.0, 0.0, 0.0)
+    b = CounterSnapshot(2.0, 400.0, 4.8e9, 2.4e9, 1e11)
+    delta = a.delta(b)
+    assert delta["power_w"] == pytest.approx(200.0)
+    assert delta["ipc"] == pytest.approx(2.0)
+    assert delta["flops"] == pytest.approx(5e10)
+    with pytest.raises(ValueError):
+        b.delta(a)
+
+
+def test_accumulator_aggregates():
+    acc = TelemetryAccumulator()
+    acc.record_phase("solve", 2.0, 100.0, 1.0, 1e9, 2.0)
+    acc.record_phase("solve", 2.0, 300.0, 2.0, 3e9, 3.0, power_capped=True)
+    assert acc.runtime_s == pytest.approx(4.0)
+    assert acc.energy_j == pytest.approx(800.0)
+    assert acc.average_power_w == pytest.approx(200.0)
+    assert acc.average_ipc == pytest.approx(1.5)
+    assert acc.average_frequency_ghz == pytest.approx(2.5)
+    assert acc.capped_fraction == pytest.approx(0.5)
+    assert acc.per_region["solve"]["count"] == 2.0
+
+
+def test_accumulator_merge():
+    a, b = TelemetryAccumulator(), TelemetryAccumulator()
+    a.record_phase("x", 1.0, 100.0, 1.0, 1e9, 2.0)
+    b.record_phase("x", 3.0, 100.0, 1.0, 1e9, 2.0)
+    merged = a.merge(b)
+    assert merged.runtime_s == pytest.approx(4.0)
+    assert merged.per_region["x"]["count"] == 2.0
+
+
+def test_accumulator_rejects_negative():
+    with pytest.raises(ValueError):
+        TelemetryAccumulator().record_phase("x", -1.0, 10.0, 1.0, 1.0, 1.0)
+
+
+def test_accumulator_as_metrics_includes_derived():
+    acc = TelemetryAccumulator()
+    acc.record_phase("x", 2.0, 150.0, 1.2, 2e10, 2.4)
+    metrics = acc.as_metrics()
+    assert "edp" in metrics and "flops_per_watt" in metrics
+
+
+# -- sliding window / power series ---------------------------------------------------
+
+
+def test_sliding_window_average_and_eviction():
+    window = SlidingWindow(10.0)
+    window.add(0.0, 100.0)
+    window.add(5.0, 200.0)
+    assert 100.0 <= window.average() <= 200.0
+    window.add(50.0, 300.0)
+    assert window.average() == pytest.approx(300.0)
+    assert len(window) == 1
+
+
+def test_sliding_window_rejects_out_of_order():
+    window = SlidingWindow(5.0)
+    window.add(10.0, 1.0)
+    with pytest.raises(ValueError):
+        window.add(5.0, 2.0)
+
+
+def test_power_series_mean_and_energy():
+    series = PowerTimeSeries()
+    series.extend([(0.0, 100.0), (10.0, 100.0), (20.0, 200.0)])
+    assert series.mean_power_w() == pytest.approx(125.0)
+    assert series.energy_j() == pytest.approx(2500.0)
+    assert series.max_power_w() == pytest.approx(200.0)
+
+
+def test_power_series_corridor_stats():
+    series = PowerTimeSeries()
+    for t in range(10):
+        series.record(float(t), 100.0 if t < 5 else 300.0)
+    stats = series.corridor_stats(upper_w=250.0, lower_w=50.0)
+    assert stats.above_upper == 5
+    assert stats.below_lower == 0
+    assert stats.violation_fraction == pytest.approx(0.5)
+
+
+def test_power_series_corridor_with_window_smoothing():
+    series = PowerTimeSeries()
+    for t in range(20):
+        series.record(float(t), 400.0 if t == 10 else 100.0)
+    raw = series.corridor_stats(upper_w=250.0)
+    smoothed = series.corridor_stats(upper_w=250.0, window_s=10.0)
+    assert raw.above_upper >= smoothed.above_upper
+
+
+def test_power_series_validation():
+    series = PowerTimeSeries()
+    series.record(1.0, 10.0)
+    with pytest.raises(ValueError):
+        series.record(0.5, 10.0)
+    with pytest.raises(ValueError):
+        series.record(2.0, -5.0)
+
+
+# -- performance database --------------------------------------------------------------
+
+
+def test_database_best_and_topk():
+    db = PerformanceDatabase()
+    for i, value in enumerate([5.0, 2.0, 8.0, 1.0]):
+        db.add_evaluation({"x": i}, {"runtime_s": value}, objective=value)
+    assert db.best().config == {"x": 3}
+    assert [r.objective for r in db.top_k(2)] == [1.0, 2.0]
+    assert db.best(minimize=False).config == {"x": 2}
+
+
+def test_database_best_prefers_feasible():
+    db = PerformanceDatabase()
+    db.add_evaluation({"x": 0}, {}, objective=1.0, feasible=False)
+    db.add_evaluation({"x": 1}, {}, objective=5.0, feasible=True)
+    assert db.best().config == {"x": 1}
+
+
+def test_database_best_so_far_monotone():
+    db = PerformanceDatabase()
+    for value in [5.0, 7.0, 3.0, 4.0, 1.0]:
+        db.add_evaluation({}, {}, objective=value)
+    curve = db.best_so_far()
+    assert curve == [5.0, 5.0, 3.0, 3.0, 1.0]
+
+
+def test_database_lookup_by_tags():
+    db = PerformanceDatabase()
+    db.add_evaluation({"f": 1}, {}, objective=2.0, app="hypre")
+    db.add_evaluation({"f": 2}, {}, objective=1.0, app="lulesh")
+    assert db.best_for(app="hypre").config == {"f": 1}
+    assert db.best_for(app="unknown") is None
+
+
+def test_database_json_roundtrip(tmp_path):
+    db = PerformanceDatabase("t")
+    db.add_evaluation({"a": 1}, {"runtime_s": 2.0}, objective=2.0, tag="x")
+    path = tmp_path / "db.json"
+    db.save(str(path))
+    loaded = PerformanceDatabase.load(str(path))
+    assert len(loaded) == 1
+    assert loaded.records()[0].config == {"a": 1}
+    assert loaded.records()[0].tags == {"tag": "x"}
+
+
+def test_database_filter():
+    db = PerformanceDatabase()
+    db.add_evaluation({}, {}, objective=1.0, feasible=True)
+    db.add_evaluation({}, {}, objective=2.0, feasible=False)
+    assert len(db.filter(lambda r: r.feasible)) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+def test_property_best_so_far_never_increases(objectives):
+    db = PerformanceDatabase()
+    for value in objectives:
+        db.add_evaluation({}, {}, objective=value)
+    curve = db.best_so_far()
+    assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
+    assert curve[-1] == pytest.approx(min(objectives))

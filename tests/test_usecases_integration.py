@@ -1,0 +1,105 @@
+"""Integration tests: the seven §3.2 use cases run end to end (scaled down).
+
+These are the cross-module tests: each drives applications, hardware,
+runtimes, the resource manager and the tuning framework together and
+checks the *shape* of the result the paper leads us to expect.
+"""
+
+import pytest
+
+from repro.core.usecases import run_uc1, run_uc2, run_uc3, run_uc4, run_uc5, run_uc6, run_uc7
+from repro.core.usecases.uc1_slurm_conductor_hypre import hypre_sweep
+from repro.core.usecases.uc5_irm_epop import make_malleable_workload
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.resource_manager.irm import CorridorStrategy
+
+
+def test_uc1_power_cap_changes_best_hypre_configuration():
+    cluster = Cluster(ClusterSpec(n_nodes=4), seed=1)
+    sweep = hypre_sweep(cluster, nodes_per_job=4, per_node_budget_w=260.0, seed=1)
+    assert len(sweep) == 7
+    for row in sweep:
+        assert row["capped"]["runtime_s"] >= row["uncapped"]["runtime_s"] * 0.99
+        assert row["capped"]["power_w"] <= row["uncapped"]["power_w"] * 1.01
+    best_uncapped = min(sweep, key=lambda r: r["uncapped"]["runtime_s"])["config"]
+    best_capped = min(sweep, key=lambda r: r["capped"]["runtime_s"])["config"]
+    assert best_uncapped != best_capped
+    assert best_uncapped["preconditioner"] == "ParaSails"
+    assert best_capped["preconditioner"] == "BoomerAMG"
+
+
+def test_uc1_full_use_case_with_cotuning():
+    result = run_uc1(n_nodes=4, max_evals=6, seed=1)
+    assert result["best_configs_differ"]
+    assert set(result["cotuned"]["best_by_layer"]) == {"application", "runtime", "system"}
+    assert result["cotuned"]["best_metrics"]["throughput_jobs_per_hour"] > 0
+
+
+def test_uc2_power_balancer_beats_governor_and_ee_saves_energy():
+    result = run_uc2(include_policy_modes=False, n_iterations=15)
+    assert result["balancer_speedup_over_governor"] > 0.0
+    assert result["energy_saving_energy_efficient"] > 0.0
+    agents = {row["agent"] for row in result["agents"]}
+    assert agents == {"monitor", "power_governor", "power_balancer", "energy_efficient"}
+
+
+def test_uc2_policy_modes_assign_budgets():
+    from repro.core.usecases.uc2_slurm_geopm import policy_mode_comparison
+
+    rows = policy_mode_comparison(n_nodes=4, n_jobs=3, seed=3)
+    assert {row["mode"] for row in rows} == {"static_sitewide", "job_specific", "dynamic"}
+    for row in rows:
+        assert row["metrics"]["jobs_completed"] == 3.0
+        for assignment in row["assignments"].values():
+            assert assignment["budget_w"] is None or assignment["budget_w"] > 0
+
+
+def test_uc3_tuner_beats_default_and_cap_changes_winner():
+    result = run_uc3(max_evals=12, seed=4, search="random")
+    assert result["uncapped"]["best_objective"] < 60.0  # better than a poor default
+    assert result["capped"]["best_objective"] >= result["uncapped"]["best_objective"]
+    assert len(result["uncapped_convergence"]) == 12
+    if result["cross_evaluation"]:
+        cross = result["cross_evaluation"]
+        assert cross["uncapped_winner_under_cap"]["runtime_s"] > 0
+
+
+def test_uc4_readex_saves_energy_over_default():
+    result = run_uc4(n_nodes=2, seed=5, production_iterations=10)
+    assert result["experiments_run"] > 0
+    assert result["region_configs"]  # per-region table built
+    assert result["energy_saving_dynamic_vs_default"] > 0.0
+    # dynamic per-region tuning should not lose to the single static setting
+    assert result["energy_saving_dynamic_vs_static"] >= -0.02
+
+
+def test_uc5_invasive_strategy_improves_corridor_compliance():
+    result = run_uc5(n_nodes=8, n_jobs=3, iterations=12, seed=6,
+                     strategies=(CorridorStrategy.NONE, CorridorStrategy.INVASIVE))
+    fractions = result["violation_fractions"]
+    assert set(fractions) == {"none", "invasive"}
+    assert result["invasive_improves_compliance"]
+
+
+def test_uc5_workload_is_malleable():
+    workload = make_malleable_workload(n_jobs=4, iterations=5, seed=6)
+    assert all(req.malleable for req in workload)
+    assert all(req.acceptable_node_counts() for req in workload)
+
+
+def test_uc6_countdown_saves_on_mpi_heavy_not_compute_bound():
+    result = run_uc6(n_nodes=4, seed=7, n_iterations=15)
+    summary = result["summary"]
+    assert summary["mpi_heavy_wait_and_copy_saving"] > 0.03
+    assert summary["mpi_heavy_wait_and_copy_saving"] > summary["compute_bound_wait_and_copy_saving"]
+    assert abs(summary["mpi_heavy_wait_only_slowdown"]) < 0.05
+
+
+def test_uc7_coordinated_runtimes_beat_individuals_without_conflicts():
+    result = run_uc7(n_nodes=4, seed=8, n_iterations=15)
+    savings = result["energy_savings"]
+    assert savings["countdown"] > 0.0
+    assert savings["meric"] > 0.0
+    assert result["coordinated_beats_individual"]
+    assert result["conflicts_prevented"] > 0
+    assert result["slowdowns"]["coordinated"] < 0.10

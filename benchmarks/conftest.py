@@ -6,11 +6,22 @@ through ``benchmark.pedantic`` (the experiments are simulations — the
 interesting output is the regenerated table, not the wall-clock time of
 the simulator) and prints the rows/series with a clear banner so the
 ``bench_output.txt`` log reads like the paper's evaluation section.
+
+The ``bench_perf_*`` benchmarks additionally record machine-readable
+throughput numbers (evals/sec, events/sec, cache hit rate, speedups)
+into ``BENCH_perf.json`` at the repository root via :func:`record_perf`,
+so later PRs can track the performance trajectory across the stacked
+sequence.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import json
+import os
+from typing import Any, Callable, Dict
+
+#: Machine-readable performance results, merged across benchmark runs.
+PERF_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_perf.json")
 
 
 def run_once(benchmark, function: Callable, *args, **kwargs):
@@ -21,3 +32,25 @@ def run_once(benchmark, function: Callable, *args, **kwargs):
 def banner(title: str) -> None:
     line = "=" * max(60, len(title) + 8)
     print(f"\n{line}\n=== {title}\n{line}")
+
+
+def record_perf(section: str, values: Dict[str, Any]) -> str:
+    """Merge ``values`` into the ``section`` key of ``BENCH_perf.json``.
+
+    Each perf benchmark owns one section (e.g. ``"tuning_throughput"``);
+    re-running a benchmark overwrites its own section and leaves the
+    others intact.  Returns the path written.
+    """
+    path = os.path.abspath(PERF_JSON_PATH)
+    data: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[section] = values
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -40,10 +40,18 @@ from repro.core.parameters import (
 from repro.core.space import ParameterSpace
 from repro.core.stack import PowerStack, PowerStackConfig
 from repro.core.translation import GoalTranslator, TranslationStep
-from repro.core.tuner import Autotuner, TuningResult
+from repro.core.tuner import (
+    Autotuner,
+    BatchAutotuner,
+    EvaluationCache,
+    SerialExecutor,
+    ThreadedExecutor,
+    TuningResult,
+)
 
 __all__ = [
     "Autotuner",
+    "BatchAutotuner",
     "BooleanParameter",
     "CategoricalParameter",
     "CoTuner",
@@ -52,6 +60,7 @@ __all__ = [
     "ConstraintSet",
     "EndToEndResult",
     "EndToEndTuner",
+    "EvaluationCache",
     "FloatParameter",
     "ForbiddenCombination",
     "GoalTranslator",
@@ -63,6 +72,8 @@ __all__ = [
     "ParameterSpace",
     "PowerStack",
     "PowerStackConfig",
+    "SerialExecutor",
+    "ThreadedExecutor",
     "TranslationStep",
     "TuningResult",
     "WeightedObjective",

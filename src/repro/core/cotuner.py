@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 from repro.core.constraints import ConstraintSet
 from repro.core.objectives import Objective, WeightedObjective
 from repro.core.space import ParameterSpace
-from repro.core.tuner import Autotuner, TuningResult
+from repro.core.tuner import Autotuner, BatchAutotuner, TuningResult
 from repro.telemetry.database import PerformanceDatabase
 
 __all__ = ["CoTuningResult", "CoTuner"]
@@ -56,7 +56,14 @@ class CoTuningResult:
 
 
 class CoTuner:
-    """Joint tuner over a dictionary of per-layer parameter spaces."""
+    """Joint tuner over a dictionary of per-layer parameter spaces.
+
+    ``batch_size``, ``executor`` and ``cache_evaluations`` select the
+    batched engine (:class:`~repro.core.tuner.BatchAutotuner`): whole
+    generations are asked/told at once, evaluations run through the chosen
+    executor, and repeated cross-layer configurations are served from the
+    memoization cache.  The defaults keep the sequential loop.
+    """
 
     SEPARATOR = "."
 
@@ -70,6 +77,9 @@ class CoTuner:
         max_evals: int = 100,
         seed: int = 0,
         name: str = "cotuner",
+        batch_size: int = 1,
+        executor: str = "serial",
+        cache_evaluations: bool = False,
     ):
         if not layer_spaces:
             raise ValueError("co-tuning needs at least one layer space")
@@ -77,7 +87,7 @@ class CoTuner:
         self.layers = list(layer_spaces)
         self.evaluator = evaluator
         self.joint_space = self._build_joint_space()
-        self._autotuner = Autotuner(
+        common = dict(
             space=self.joint_space,
             evaluator=self._evaluate_flat,
             objective=objective,
@@ -87,6 +97,15 @@ class CoTuner:
             seed=seed,
             name=name,
         )
+        if batch_size > 1 or executor != "serial" or cache_evaluations:
+            self._autotuner: Autotuner = BatchAutotuner(
+                batch_size=batch_size,
+                executor=executor,
+                cache_evaluations=cache_evaluations,
+                **common,
+            )
+        else:
+            self._autotuner = Autotuner(**common)
 
     # -- space composition -------------------------------------------------------------
     def _build_joint_space(self) -> ParameterSpace:
@@ -125,6 +144,12 @@ class CoTuner:
     @property
     def database(self) -> PerformanceDatabase:
         return self._autotuner.database
+
+    def close(self) -> None:
+        """Release executor resources (thread pools); no-op when sequential."""
+        close = getattr(self._autotuner, "close", None)
+        if close is not None:
+            close()
 
     def run(self, callback=None) -> CoTuningResult:
         result = self._autotuner.run(callback=callback)

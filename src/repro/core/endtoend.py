@@ -91,6 +91,9 @@ class EndToEndTuner:
         search: str = "forest",
         max_evals: int = 40,
         seed: int = 0,
+        batch_size: int = 1,
+        executor: str = "serial",
+        cache_evaluations: bool = False,
     ):
         if not workload:
             raise ValueError("the end-to-end tuner needs a workload")
@@ -103,6 +106,13 @@ class EndToEndTuner:
         self.search = search
         self.max_evals = int(max_evals)
         self.seed = int(seed)
+        #: Batched-engine knobs, forwarded to the CoTuner.  A batch size > 1
+        #: asks the search for whole generations; ``cache_evaluations``
+        #: memoizes repeated cross-layer configurations (every evaluation
+        #: replays the full workload, so hits are pure savings).
+        self.batch_size = int(batch_size)
+        self.executor = executor
+        self.cache_evaluations = bool(cache_evaluations)
         self.translator = GoalTranslator()
         self._evaluation_count = 0
 
@@ -259,9 +269,15 @@ class EndToEndTuner:
             max_evals=self.max_evals,
             seed=self.seed,
             name="end-to-end",
+            batch_size=self.batch_size,
+            executor=self.executor,
+            cache_evaluations=self.cache_evaluations,
         )
         baseline_metrics = dict(self.evaluate(self.baseline_configuration()))
-        result = cotuner.run()
+        try:
+            result = cotuner.run()
+        finally:
+            cotuner.close()  # release thread pools when executor="thread"
 
         # Record the budget-translation chain for the winning configuration.
         cluster_spec = self.stack.config.cluster

@@ -10,6 +10,13 @@ parameter knows how to
 * encode values into the unit interval (for the numeric search
   algorithms) and decode them back, and
 * propose neighbouring values (for local-search style algorithms).
+
+Each parameter also exposes *vectorized* batch variants
+(:meth:`Parameter.to_unit_array`, :meth:`Parameter.from_unit_array`,
+:meth:`Parameter.sample_array`) so :class:`~repro.core.space.ParameterSpace`
+can encode, decode and sample whole batches of configurations with numpy
+instead of per-value Python loops — the hot path of the batched tuning
+engine.
 """
 
 from __future__ import annotations
@@ -65,6 +72,23 @@ class Parameter(abc.ABC):
         """Values adjacent to ``value`` (default: one fresh sample)."""
         return [self.sample(rng)]
 
+    # -- vectorized batch interface (overridden where numpy can help) ---------------
+    def to_unit_array(self, values: Sequence[Any]) -> np.ndarray:
+        """Encode a batch of values into [0, 1] (default: scalar loop)."""
+        return np.array([self.to_unit(v) for v in values], dtype=float)
+
+    def from_unit_array(self, u: np.ndarray) -> List[Any]:
+        """Decode a batch of [0, 1] positions (default: scalar loop)."""
+        return [self.from_unit(float(x)) for x in np.asarray(u, dtype=float)]
+
+    def sample_array(self, rng: np.random.Generator, count: int) -> List[Any]:
+        """Draw ``count`` uniform random values (default: scalar loop)."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def grid_size(self, resolution: int = 10) -> int:
+        """Number of grid points without materializing the grid list."""
+        return len(self.grid(resolution))
+
     @property
     def is_numeric(self) -> bool:
         return False
@@ -109,11 +133,30 @@ class CategoricalParameter(Parameter):
     def grid(self, resolution: int = 10) -> List[Any]:
         return list(self.values)
 
+    def grid_size(self, resolution: int = 10) -> int:
+        return len(self.values)
+
     def neighbors(self, value: Any, rng: np.random.Generator) -> List[Any]:
         others = [v for v in self.values if self._key(v) != self._key(value)]
         if not others:
             return [value]
         return [others[int(rng.integers(0, len(others)))]]
+
+    # -- vectorized batch interface ---------------------------------------------------
+    def to_unit_array(self, values: Sequence[Any]) -> np.ndarray:
+        idx = np.array([self._index[self._key(self.validate(v))] for v in values], dtype=float)
+        if len(self.values) == 1:
+            return np.zeros_like(idx)
+        return idx / (len(self.values) - 1)
+
+    def from_unit_array(self, u: np.ndarray) -> List[Any]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        idx = np.rint(u * (len(self.values) - 1)).astype(int)
+        return [self.values[i] for i in idx]
+
+    def sample_array(self, rng: np.random.Generator, count: int) -> List[Any]:
+        idx = rng.integers(0, len(self.values), size=count)
+        return [self.values[i] for i in idx]
 
 
 class OrdinalParameter(CategoricalParameter):
@@ -196,6 +239,33 @@ class IntegerParameter(Parameter):
         count = min(resolution, self.high - self.low + 1)
         return sorted({self.from_unit(u) for u in np.linspace(0.0, 1.0, count)})
 
+    def grid_size(self, resolution: int = 10) -> int:
+        if self.log:
+            # Log-spaced rounding can collapse adjacent points: count exactly.
+            return len(self.grid(resolution))
+        return min(resolution, self.high - self.low + 1)
+
+    # -- vectorized batch interface ---------------------------------------------------
+    def to_unit_array(self, values: Sequence[Any]) -> np.ndarray:
+        vals = np.array([self.validate(v) for v in values], dtype=float)
+        if self.high == self.low:
+            return np.zeros_like(vals)
+        if self.log:
+            return (np.log(vals) - np.log(self.low)) / (np.log(self.high) - np.log(self.low))
+        return (vals - self.low) / (self.high - self.low)
+
+    def from_unit_array(self, u: np.ndarray) -> List[int]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.log:
+            vals = np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+        else:
+            vals = self.low + u * (self.high - self.low)
+        clipped = np.clip(np.rint(vals), self.low, self.high).astype(int)
+        return [int(v) for v in clipped]
+
+    def sample_array(self, rng: np.random.Generator, count: int) -> List[int]:
+        return self.from_unit_array(rng.random(count))
+
     def neighbors(self, value: Any, rng: np.random.Generator) -> List[int]:
         value = self.validate(value)
         step = max(1, (self.high - self.low) // 20)
@@ -253,6 +323,29 @@ class FloatParameter(Parameter):
 
     def grid(self, resolution: int = 10) -> List[float]:
         return [self.from_unit(u) for u in np.linspace(0.0, 1.0, max(2, resolution))]
+
+    def grid_size(self, resolution: int = 10) -> int:
+        return max(2, resolution)
+
+    # -- vectorized batch interface ---------------------------------------------------
+    def to_unit_array(self, values: Sequence[Any]) -> np.ndarray:
+        vals = np.array([self.validate(v) for v in values], dtype=float)
+        if self.high == self.low:
+            return np.zeros_like(vals)
+        if self.log:
+            return (np.log(vals) - np.log(self.low)) / (np.log(self.high) - np.log(self.low))
+        return (vals - self.low) / (self.high - self.low)
+
+    def from_unit_array(self, u: np.ndarray) -> List[float]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.log:
+            vals = np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+        else:
+            vals = self.low + u * (self.high - self.low)
+        return [float(v) for v in vals]
+
+    def sample_array(self, rng: np.random.Generator, count: int) -> List[float]:
+        return self.from_unit_array(rng.random(count))
 
     def neighbors(self, value: Any, rng: np.random.Generator) -> List[float]:
         value = self.validate(value)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -54,6 +54,30 @@ class SimulatedAnnealing(SearchAlgorithm):
                 else self._random_config()
             )
         return dict(self._proposed)
+
+    def ask_batch(self, n: int) -> List[Dict[str, Any]]:
+        """Propose a neighborhood batch around the current state.
+
+        All proposals come from the *same* state (parallel tempering
+        style): distinct neighbors first (a random permutation, no
+        replacement — duplicates would waste whole evaluations), then
+        fresh random configurations as exploratory padding.  Acceptance
+        happens per-tell when the batch of objectives arrives.
+        """
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        if n == 1:
+            return [self.ask()]
+        if self._current is None:
+            return self.space.sample_many(self.rng, n)
+        neighbors = self.space.neighbors(self._current, self.rng)
+        if not neighbors:
+            return self.space.sample_many(self.rng, n)
+        order = self.rng.permutation(len(neighbors))
+        out = [dict(neighbors[i]) for i in order[:n]]
+        if len(out) < n:
+            out.extend(self.space.sample_many(self.rng, n - len(out)))
+        return out
 
     def tell(self, config: Mapping[str, Any], objective: float) -> None:
         super().tell(config, objective)

@@ -10,13 +10,13 @@ against the random-forest surrogate in the ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve
 from scipy.stats import norm
 
-from repro.core.search.base import SearchAlgorithm, register_search
+from repro.core.search.base import SurrogateSearch, register_search
 from repro.core.space import ParameterSpace
 
 __all__ = ["GaussianProcessSearch"]
@@ -67,7 +67,7 @@ class _GaussianProcess:
 
 
 @register_search
-class GaussianProcessSearch(SearchAlgorithm):
+class GaussianProcessSearch(SurrogateSearch):
     """Bayesian optimisation with an RBF GP and expected improvement."""
 
     name = "bayesian"
@@ -91,35 +91,20 @@ class GaussianProcessSearch(SearchAlgorithm):
         self.exploration = float(exploration)
         self._gp = _GaussianProcess(length_scale=length_scale)
 
-    # -- acquisition --------------------------------------------------------------------
+    # -- surrogate interface ------------------------------------------------------------
     def _expected_improvement(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
         improvement = best - mean - self.exploration
         z = improvement / std
         return improvement * norm.cdf(z) + std * norm.pdf(z)
 
-    def _candidate_pool(self) -> list:
-        pool = [self._random_config() for _ in range(self.candidates)]
-        best = self.best()
-        if best is not None:
-            pool.extend(self.space.neighbors(best[0], self.rng))
-        return [c for c in pool if self.space.is_allowed(c)] or pool
-
-    # -- ask/tell -------------------------------------------------------------------------
-    def ask(self) -> Dict[str, Any]:
-        finite = [(c, o) for c, o in self.history if np.isfinite(o) and o < 1e17]
-        if len(finite) < self.initial_random:
-            return self._random_config()
-
-        configs = [c for c, _ in finite]
+    def _fit(self, finite: list) -> np.ndarray:
         objectives = np.array([o for _, o in finite])
-        x = self.space.encode_many(configs)
-        self._gp.fit(x, objectives)
+        self._gp.fit(self.space.encode_many([c for c, _ in finite]), objectives)
+        return objectives
 
-        pool = self._candidate_pool()
-        x_pool = self.space.encode_many(pool)
-        mean, std = self._gp.predict(x_pool)
-        ei = self._expected_improvement(mean, std, float(objectives.min()))
-        return dict(pool[int(np.argmax(ei))])
+    def _score(self, pool: list, objectives: np.ndarray) -> np.ndarray:
+        mean, std = self._gp.predict(self.space.encode_many(pool))
+        return self._expected_improvement(mean, std, float(objectives.min()))
 
     def tell(self, config: Mapping[str, Any], objective: float) -> None:
         super().tell(config, objective)

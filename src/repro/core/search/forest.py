@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Mapping, Optional
 import numpy as np
 from scipy.stats import norm
 
-from repro.core.search.base import SearchAlgorithm, register_search
+from repro.core.search.base import SurrogateSearch, register_search
 from repro.core.space import ParameterSpace
 
 __all__ = ["RegressionTree", "RandomForestRegressor", "RandomForestSearch"]
@@ -140,7 +140,7 @@ class RandomForestRegressor:
 
 
 @register_search
-class RandomForestSearch(SearchAlgorithm):
+class RandomForestSearch(SurrogateSearch):
     """SMAC-style search: random-forest surrogate + expected improvement."""
 
     name = "forest"
@@ -162,29 +162,20 @@ class RandomForestSearch(SearchAlgorithm):
         self.exploration = float(exploration)
         self.forest = RandomForestRegressor(n_trees=n_trees)
 
-    def ask(self) -> Dict[str, Any]:
-        finite = [(c, o) for c, o in self.history if np.isfinite(o) and o < 1e17]
-        if len(finite) < self.initial_random:
-            return self._random_config()
-
-        configs = [c for c, _ in finite]
+    # -- surrogate interface ------------------------------------------------------------
+    def _fit(self, finite: List) -> np.ndarray:
         objectives = np.array([o for _, o in finite])
-        x = self.space.encode_many(configs)
-        self.forest.fit(x, objectives, self.rng)
+        self.forest.fit(
+            self.space.encode_many([c for c, _ in finite]), objectives, self.rng
+        )
+        return objectives
 
-        pool = [self._random_config() for _ in range(self.candidates)]
-        best = self.best()
-        if best is not None:
-            pool.extend(self.space.neighbors(best[0], self.rng))
-        pool = [c for c in pool if self.space.is_allowed(c)] or pool
-        x_pool = self.space.encode_many(pool)
-        mean, std = self.forest.predict(x_pool)
-
-        best_objective = float(objectives.min())
-        improvement = best_objective - mean - self.exploration
+    def _score(self, pool: List[Dict[str, Any]], objectives: np.ndarray) -> np.ndarray:
+        """Expected improvement of ``pool`` under the fitted forest."""
+        mean, std = self.forest.predict(self.space.encode_many(pool))
+        improvement = float(objectives.min()) - mean - self.exploration
         z = improvement / std
-        ei = improvement * norm.cdf(z) + std * norm.pdf(z)
-        return dict(pool[int(np.argmax(ei))])
+        return improvement * norm.cdf(z) + std * norm.pdf(z)
 
     def tell(self, config: Mapping[str, Any], objective: float) -> None:
         super().tell(config, objective)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.search.base import SearchAlgorithm, register_search
 from repro.core.space import ParameterSpace
@@ -71,5 +71,46 @@ class GeneticAlgorithm(SearchAlgorithm):
     def tell(self, config: Mapping[str, Any], objective: float) -> None:
         super().tell(config, objective)
         self._population.append((dict(config), float(objective)))
+        self._population.sort(key=lambda item: item[1])
+        del self._population[self.population_size:]
+
+    # -- batch interface: whole generations at once -----------------------------------
+    def ask_batch(self, n: int) -> List[Dict[str, Any]]:
+        """Propose a whole generation of offspring from the current population."""
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        if n == 1:
+            return [self.ask()]
+        out: List[Dict[str, Any]] = []
+        deficit = self.population_size - len(self.history)
+        if deficit > 0:
+            out.extend(self.space.sample_many(self.rng, min(n, deficit)))
+        if not self._population:
+            if len(out) < n:
+                out.extend(self.space.sample_many(self.rng, n - len(out)))
+            return out
+        while len(out) < n:
+            for _ in range(30):
+                child = self._mutate(
+                    self._crossover(self._select_parent(), self._select_parent())
+                )
+                if self.space.is_allowed(child):
+                    out.append(child)
+                    break
+            else:
+                out.append(self._random_config())
+        return out
+
+    def tell_batch(
+        self, configs: Sequence[Mapping[str, Any]], objectives: Sequence[float]
+    ) -> None:
+        """Absorb a generation with a single sort instead of one per tell."""
+        if len(configs) != len(objectives):
+            raise ValueError(
+                f"got {len(configs)} configs but {len(objectives)} objectives"
+            )
+        for config, objective in zip(configs, objectives):
+            SearchAlgorithm.tell(self, config, objective)
+            self._population.append((dict(config), float(objective)))
         self._population.sort(key=lambda item: item[1])
         del self._population[self.population_size:]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -50,6 +50,20 @@ class GridSearch(SearchAlgorithm):
         self._advance()
         return config
 
+    def ask_batch(self, n: int) -> List[Dict[str, Any]]:
+        """Pull the next ``n`` grid points (short or empty when exhausted).
+
+        Unlike :meth:`ask` there is no random fallback after exhaustion,
+        so ``while search.ask_batch(n): ...`` terminates for every ``n``.
+        """
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        out: List[Dict[str, Any]] = []
+        while len(out) < n and self._pending is not None:
+            out.append(self._pending)
+            self._advance()
+        return out
+
 
 @register_search
 class LatinHypercubeSearch(SearchAlgorithm):
@@ -64,17 +78,17 @@ class LatinHypercubeSearch(SearchAlgorithm):
         self.batch = int(batch)
         self._queue: list = []
 
-    def _refill(self) -> None:
+    def _refill(self, size: Optional[int] = None) -> None:
+        size = size or self.batch
         dims = len(self.space)
         if dims == 0:
             raise ValueError("cannot search an empty space")
         # One stratified permutation per dimension.
-        samples = np.empty((self.batch, dims))
+        samples = np.empty((size, dims))
         for d in range(dims):
-            perm = self.rng.permutation(self.batch)
-            samples[:, d] = (perm + self.rng.random(self.batch)) / self.batch
-        for row in samples:
-            config = self.space.decode(row)
+            perm = self.rng.permutation(size)
+            samples[:, d] = (perm + self.rng.random(size)) / size
+        for config in self.space.decode_many(samples):
             if self.space.is_allowed(config):
                 self._queue.append(config)
         if not self._queue:  # all rows violated constraints: fall back
@@ -84,3 +98,16 @@ class LatinHypercubeSearch(SearchAlgorithm):
         if not self._queue:
             self._refill()
         return self._queue.pop(0)
+
+    def ask_batch(self, n: int) -> List[Dict[str, Any]]:
+        """Drain the stratified queue, refilling with whole LHS designs."""
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        if n == 1:
+            return [self.ask()]
+        out: List[Dict[str, Any]] = []
+        while len(out) < n:
+            if not self._queue:
+                self._refill(max(self.batch, n - len(out)))
+            out.append(self._queue.pop(0))
+        return out

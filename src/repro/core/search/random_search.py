@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
-from repro.core.search.base import SearchAlgorithm, register_search
+from repro.core.search.base import SearchAlgorithm, config_key, register_search
 from repro.core.space import ParameterSpace
 
 __all__ = ["RandomSearch"]
@@ -21,9 +21,7 @@ class RandomSearch(SearchAlgorithm):
         self.avoid_repeats = avoid_repeats
         self._seen: set = set()
 
-    @staticmethod
-    def _key(config: Dict[str, Any]) -> tuple:
-        return tuple(sorted((k, str(v)) for k, v in config.items()))
+    _key = staticmethod(config_key)
 
     def ask(self) -> Dict[str, Any]:
         for _ in range(50):
@@ -34,3 +32,24 @@ class RandomSearch(SearchAlgorithm):
                 return config
         # The space is (nearly) exhausted; allow a repeat rather than fail.
         return self._random_config()
+
+    def ask_batch(self, n: int) -> List[Dict[str, Any]]:
+        """Draw a whole batch with one vectorized ``sample_many`` per round."""
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        if n == 1:
+            return [self.ask()]
+        out: List[Dict[str, Any]] = []
+        for _ in range(50):
+            for config in self.space.sample_many(self.rng, n - len(out)):
+                key = self._key(config)
+                if not self.avoid_repeats or key not in self._seen:
+                    self._seen.add(key)
+                    out.append(config)
+                    if len(out) == n:
+                        break
+            if len(out) == n:
+                return out
+        # The space is (nearly) exhausted; pad with repeats rather than fail.
+        out.extend(self.space.sample_many(self.rng, n - len(out)))
+        return out

@@ -8,12 +8,19 @@ numeric search algorithms need and the sampling/grid machinery the
 simple ones need, and it can be sliced by layer or merged with another
 space — which is exactly the operation co-tuning performs ("a
 combination of different parameters at the distinct layers", §3.2.3).
+
+The batch APIs (:meth:`ParameterSpace.encode_many`,
+:meth:`ParameterSpace.decode_many`, :meth:`ParameterSpace.sample_many`)
+are vectorized column-wise over the parameters, and the name/parameter
+lists consulted on every encode/validate call are cached (invalidated by
+:meth:`ParameterSpace.add`) so the tuning hot loop does not rebuild them
+per configuration.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +47,12 @@ class ParameterSpace:
         self.name = name
         self._parameters: Dict[str, Parameter] = {}
         self.constraints = constraints or ConstraintSet()
+        # Caches of the (ordered) name and parameter tuples; rebuilt lazily
+        # after add() invalidates them.  encode/validate consult these on
+        # every configuration, so rebuilding per call dominates small-space
+        # tuning loops.  Tuples, so callers cannot mutate the shared cache.
+        self._names_cache: Optional[Tuple[str, ...]] = None
+        self._params_cache: Optional[Tuple[Parameter, ...]] = None
         for param in parameters or []:
             self.add(param)
 
@@ -48,6 +61,8 @@ class ParameterSpace:
         if parameter.name in self._parameters:
             raise ValueError(f"duplicate parameter {parameter.name!r}")
         self._parameters[parameter.name] = parameter
+        self._names_cache = None
+        self._params_cache = None
         return self
 
     def add_constraint(self, constraint: Constraint) -> "ParameterSpace":
@@ -105,11 +120,17 @@ class ParameterSpace:
         return sub
 
     # -- introspection -----------------------------------------------------------------
-    def parameters(self) -> List[Parameter]:
-        return list(self._parameters.values())
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """The parameters in insertion order (cached, immutable)."""
+        if self._params_cache is None:
+            self._params_cache = tuple(self._parameters.values())
+        return self._params_cache
 
-    def names(self) -> List[str]:
-        return list(self._parameters.keys())
+    def names(self) -> Tuple[str, ...]:
+        """The parameter names in insertion order (cached, immutable)."""
+        if self._names_cache is None:
+            self._names_cache = tuple(self._parameters.keys())
+        return self._names_cache
 
     def layers(self) -> List[str]:
         seen: List[str] = []
@@ -128,10 +149,14 @@ class ParameterSpace:
         return self._parameters[name]
 
     def cardinality(self) -> float:
-        """Number of grid points (inf-like large for continuous parameters)."""
+        """Number of grid points (inf-like large for continuous parameters).
+
+        Uses each parameter's :meth:`~repro.core.parameters.Parameter.grid_size`
+        so no grid list is materialized.
+        """
         total = 1.0
         for param in self.parameters():
-            total *= max(1, len(param.grid(resolution=10)))
+            total *= max(1, param.grid_size(resolution=10))
         return total
 
     # -- configurations ---------------------------------------------------------------------
@@ -161,8 +186,40 @@ class ParameterSpace:
             f"after {max_tries} tries — constraints may be unsatisfiable"
         )
 
-    def sample_many(self, rng: np.random.Generator, count: int) -> List[Dict[str, Any]]:
-        return [self.sample(rng) for _ in range(count)]
+    def sample_many(
+        self, rng: np.random.Generator, count: int, max_rounds: int = 200
+    ) -> List[Dict[str, Any]]:
+        """Draw ``count`` random *allowed* configurations, vectorized.
+
+        Each round draws a whole batch column-wise (one vectorized
+        ``sample_array`` call per parameter) and filters out configurations
+        rejected by the constraints; rejected slots are redrawn the next
+        round.  This consumes the RNG differently from ``count`` scalar
+        :meth:`sample` calls, so batch and sequential paths are separate
+        deterministic streams.
+        """
+        if count <= 0:
+            return []
+        out: List[Dict[str, Any]] = []
+        needed = count
+        has_constraints = len(self.constraints) > 0
+        for _ in range(max_rounds):
+            columns = {
+                name: param.sample_array(rng, needed)
+                for name, param in self._parameters.items()
+            }
+            names = self.names()
+            for i in range(needed):
+                config = {name: columns[name][i] for name in names}
+                if not has_constraints or self.is_allowed(config):
+                    out.append(config)
+            needed = count - len(out)
+            if needed == 0:
+                return out
+        raise RuntimeError(
+            f"could not sample {count} allowed configurations from {self.name!r} "
+            f"after {max_rounds} rounds — constraints may be unsatisfiable"
+        )
 
     def grid_configurations(self, resolution: int = 10) -> Iterator[Dict[str, Any]]:
         """Iterate the (constrained) cartesian grid of representative values."""
@@ -204,9 +261,37 @@ class ParameterSpace:
         }
 
     def encode_many(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Encode a batch of configurations as an ``(n, dims)`` unit matrix.
+
+        Vectorized column-wise: one ``to_unit_array`` call per parameter
+        instead of one ``encode`` call per configuration.
+        """
         if not configs:
             return np.empty((0, len(self)))
-        return np.vstack([self.encode(c) for c in configs])
+        names = self.names()
+        out = np.empty((len(configs), len(names)), dtype=float)
+        for j, name in enumerate(names):
+            param = self._parameters[name]
+            out[:, j] = param.to_unit_array([c[name] for c in configs])
+        return out
+
+    def decode_many(self, matrix: Sequence[Sequence[float]]) -> List[Dict[str, Any]]:
+        """Decode an ``(n, dims)`` unit matrix into configurations (vectorized)."""
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        if matrix.size == 0:
+            return []
+        if matrix.shape[1] != len(self):
+            raise ValueError(
+                f"expected an (n, {len(self)}) matrix, got {matrix.shape}"
+            )
+        names = self.names()
+        columns = {
+            name: self._parameters[name].from_unit_array(matrix[:, j])
+            for j, name in enumerate(names)
+        }
+        return [
+            {name: columns[name][i] for name in names} for i in range(matrix.shape[0])
+        ]
 
     def describe(self) -> Dict[str, Dict[str, Any]]:
         """Summary used by Table 1 reporting: parameter -> layer and values."""
@@ -220,4 +305,4 @@ class ParameterSpace:
         return out
 
     def __repr__(self) -> str:
-        return f"ParameterSpace(name={self.name!r}, parameters={self.names()})"
+        return f"ParameterSpace(name={self.name!r}, parameters={list(self.names())})"

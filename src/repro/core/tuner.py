@@ -5,24 +5,128 @@ assigns values in the allowed ranges, (2) the evaluator ("plopper")
 builds/runs the configuration and measures it, (3) the result is
 appended to the performance database; repeat until ``max_evals``.  The
 best configuration is read off the database at the end.
+
+:class:`BatchAutotuner` is the batched/parallel variant: it drives the
+same loop through :meth:`SearchAlgorithm.ask_batch` /
+:meth:`SearchAlgorithm.tell_batch`, evaluates each batch through a
+pluggable executor (:class:`SerialExecutor` or the thread-pool
+:class:`ThreadedExecutor`) and memoizes evaluator calls in an
+:class:`EvaluationCache` keyed by the canonical configuration.  With
+``batch_size=1``, a serial executor and the cache disabled it reproduces
+the sequential :class:`Autotuner` bit-for-bit.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.objectives import Objective, PENALTY_OBJECTIVE, WeightedObjective, make_objective
-from repro.core.search.base import SearchAlgorithm, make_search
+from repro.core.search.base import SearchAlgorithm, config_key, make_search
 from repro.core.space import ParameterSpace
 from repro.telemetry.database import EvaluationRecord, PerformanceDatabase
 
-__all__ = ["TuningResult", "Autotuner"]
+__all__ = [
+    "TuningResult",
+    "Autotuner",
+    "BatchAutotuner",
+    "EvaluationCache",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "make_executor",
+]
 
 #: An evaluator maps a configuration to a dictionary of measured metrics.
 Evaluator = Callable[[Dict[str, Any]], Mapping[str, float]]
+
+#: Internal evaluation outcome: (metrics, failed).
+_Outcome = Tuple[Dict[str, float], bool]
+
+
+class SerialExecutor:
+    """Evaluates a batch in the calling thread, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item) for item in items]
+
+
+class ThreadedExecutor:
+    """Evaluates a batch on a shared thread pool (order-preserving).
+
+    Suited to evaluators that release the GIL or wait on subprocesses /
+    I/O (real build-and-run ploppers); pure-Python evaluators gain little.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(spec: Union[str, Any], max_workers: Optional[int] = None):
+    """Resolve an executor spec (``"serial"``, ``"thread"`` or an object)."""
+    if not isinstance(spec, str):
+        if not hasattr(spec, "map"):
+            raise TypeError(f"executor {spec!r} must provide a .map(fn, items) method")
+        return spec
+    key = spec.strip().lower()
+    if key == "serial":
+        return SerialExecutor()
+    if key in ("thread", "threads", "threadpool"):
+        return ThreadedExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor {spec!r}; available: serial, thread")
+
+
+class EvaluationCache:
+    """Memoizes evaluator outcomes keyed by the canonical configuration.
+
+    Tuning loops revisit configurations constantly (small spaces, repeated
+    acquisition winners); re-running the plopper for a configuration that
+    has already been built and measured is pure waste.  Failures are
+    memoized too — a deterministic evaluator fails again.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[tuple, _Outcome] = {}
+        self.hits = 0
+        self.misses = 0
+
+    key = staticmethod(config_key)
+
+    def get(self, key: tuple) -> Optional[_Outcome]:
+        outcome = self._data.get(key)
+        if outcome is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, key: tuple, outcome: _Outcome) -> None:
+        self._data[key] = outcome
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 @dataclass
@@ -38,6 +142,9 @@ class TuningResult:
     infeasible_evaluations: int = 0
     failed_evaluations: int = 0
     convergence: List[float] = field(default_factory=list)
+    #: Evaluation-cache statistics (always 0 for the sequential Autotuner).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def found_feasible(self) -> bool:
@@ -85,14 +192,21 @@ class Autotuner:
         self.infeasible_penalty_factor = float(infeasible_penalty_factor)
 
     # -- evaluation of one configuration ---------------------------------------------------
-    def _evaluate_one(self, config: Dict[str, Any]) -> EvaluationRecord:
-        failed = False
+    def _call_evaluator(self, config: Dict[str, Any]) -> _Outcome:
+        """Run the evaluator, turning exceptions into failure metrics."""
         try:
-            metrics = dict(self.evaluator(config))
+            return dict(self.evaluator(config)), False
         except Exception as error:  # evaluator failures are data, not crashes
             metrics = {"error": 1.0, "error_message_hash": float(abs(hash(str(error))) % 10_000)}
-            failed = True
+            return metrics, True
 
+    def _evaluate_one(self, config: Dict[str, Any]) -> EvaluationRecord:
+        metrics, failed = self._call_evaluator(config)
+        return self._record_evaluation(config, metrics, failed)
+
+    def _record_evaluation(
+        self, config: Dict[str, Any], metrics: Dict[str, float], failed: bool
+    ) -> EvaluationRecord:
         feasible = (not failed) and self.constraints.allows_metrics(metrics)
         objective_value = PENALTY_OBJECTIVE if failed else float(self.objective(metrics))
         record = self.database.add_evaluation(
@@ -163,4 +277,145 @@ class Autotuner:
             infeasible_evaluations=infeasible,
             failed_evaluations=failed,
             convergence=convergence,
+        )
+
+
+class BatchAutotuner(Autotuner):
+    """Batched ask/evaluate/tell loop with memoization and parallel evaluation.
+
+    Per round the loop (1) asks the search for a whole batch, (2) rejects
+    constraint-violating proposals without spending evaluations, (3)
+    resolves the rest through the evaluation cache (which also
+    deduplicates identical configurations within a batch), (4) runs the
+    misses through the executor, and (5) reports the whole batch back
+    with one ``tell_batch``.  Records land in the database in ask order,
+    so with ``batch_size=1`` the run is indistinguishable from
+    :class:`Autotuner`.
+
+    ``cache_evaluations`` is opt-in (matching :class:`~repro.core.cotuner.CoTuner`
+    and the end-to-end tuner): memoization assumes a deterministic
+    evaluator — failures are cached too, so a flaky evaluator would pin
+    a transient failure for the rest of the run.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        evaluator: Evaluator,
+        batch_size: int = 16,
+        executor: Union[str, Any] = "serial",
+        max_workers: Optional[int] = None,
+        cache_evaluations: bool = False,
+        **kwargs: Any,
+    ):
+        super().__init__(space, evaluator, **kwargs)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+        self.executor = make_executor(executor, max_workers=max_workers)
+        self.cache: Optional[EvaluationCache] = (
+            EvaluationCache() if cache_evaluations else None
+        )
+
+    def close(self) -> None:
+        """Release executor resources (no-op for the serial executor)."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    # -- batch evaluation ------------------------------------------------------------------
+    def _evaluate_batch(self, configs: List[Dict[str, Any]]) -> List[_Outcome]:
+        """Outcomes for ``configs`` via cache + executor, in input order."""
+        results: Dict[int, _Outcome] = {}
+        if self.cache is None:
+            outcomes = self.executor.map(self._call_evaluator, configs)
+            return list(outcomes)
+
+        # Group cache misses by canonical key so within-batch duplicates
+        # are evaluated once.
+        pending: Dict[tuple, List[int]] = {}
+        ordered_keys: List[tuple] = []
+        for pos, config in enumerate(configs):
+            key = self.cache.key(config)
+            if key in pending:
+                self.cache.hits += 1  # resolved by the in-flight duplicate
+                pending[key].append(pos)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[pos] = cached
+            else:
+                pending[key] = [pos]
+                ordered_keys.append(key)
+        misses = [configs[pending[key][0]] for key in ordered_keys]
+        for key, outcome in zip(ordered_keys, self.executor.map(self._call_evaluator, misses)):
+            self.cache.put(key, outcome)
+            for pos in pending[key]:
+                results[pos] = outcome
+        return [results[pos] for pos in range(len(configs))]
+
+    # -- main loop -------------------------------------------------------------------------------
+    def run(
+        self, callback: Optional[Callable[[int, EvaluationRecord], None]] = None
+    ) -> TuningResult:
+        """Run up to ``max_evals`` evaluations in batches and return the best."""
+        infeasible = 0
+        failed = 0
+        convergence: List[float] = []
+        best_feasible: Optional[EvaluationRecord] = None
+        slot = 0  # ask slots consumed, counting constraint rejections
+
+        while slot < self.max_evals:
+            if self.search.is_exhausted():
+                break
+            configs = self.search.ask_batch(min(self.batch_size, self.max_evals - slot))
+            if not configs:
+                break
+            configs = [self.space.validate(config) for config in configs]
+            allowed = [self.space.is_allowed(config) for config in configs]
+            outcomes = self._evaluate_batch(
+                [c for c, ok in zip(configs, allowed) if ok]
+            )
+
+            tell_values: List[float] = []
+            outcome_iter = iter(outcomes)
+            for config, ok in zip(configs, allowed):
+                if not ok:
+                    # Forbidden combination: reject without spending an
+                    # evaluation on it (mirrors the sequential loop).
+                    tell_values.append(PENALTY_OBJECTIVE)
+                    slot += 1
+                    continue
+                metrics, was_failed = next(outcome_iter)
+                record = self._record_evaluation(config, metrics, was_failed)
+                if not record.feasible:
+                    infeasible += 1
+                if "error" in record.metrics:
+                    failed += 1
+                tell_values.append(self._search_value(record))
+                if record.feasible and (
+                    best_feasible is None or record.objective < best_feasible.objective
+                ):
+                    best_feasible = record
+                convergence.append(
+                    best_feasible.objective if best_feasible is not None else math.inf
+                )
+                if callback is not None:
+                    callback(slot, record)
+                slot += 1
+            self.search.tell_batch(configs, tell_values)
+
+        best = best_feasible or self.database.best(minimize=True, feasible_only=False)
+        return TuningResult(
+            best_config=dict(best.config) if best is not None else None,
+            best_metrics=dict(best.metrics) if best is not None else {},
+            best_objective=best.objective if best is not None else math.inf,
+            evaluations=len(self.database),
+            database=self.database,
+            objective_name=getattr(self.objective, "name", "objective"),
+            infeasible_evaluations=infeasible,
+            failed_evaluations=failed,
+            convergence=convergence,
+            cache_hits=self.cache.hits if self.cache is not None else 0,
+            cache_misses=self.cache.misses if self.cache is not None else 0,
         )

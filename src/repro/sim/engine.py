@@ -67,7 +67,15 @@ class Event:
     Processes wait on events by yielding them.  Callbacks registered in
     :attr:`callbacks` are invoked (with the event as the only argument)
     when the environment processes the event.
+
+    ``__slots__`` keeps per-event allocation small: long simulations
+    create millions of events, so the dict-free layout measurably cuts
+    memory traffic in the hot loop.  (Subclasses outside this module that
+    declare extra attributes without ``__slots__`` simply regain a
+    ``__dict__`` — nothing breaks.)
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     PENDING = object()
 
@@ -144,6 +152,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -160,6 +170,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Immediately-scheduled event used to start a new process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -175,6 +187,8 @@ class Process(Event):
     finishes; its value is the generator's return value, which lets one
     process ``yield`` another and collect its result.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -275,6 +289,8 @@ class Process(Event):
 class Condition(Event):
     """Waits on a set of events until ``evaluate`` says it is satisfied."""
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -329,6 +345,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when all of the given events have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.all_events, events)
 
@@ -336,12 +354,16 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers when any of the given events has succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.any_events, events)
 
 
 class Environment:
     """The simulation environment: clock, event queue, and run loop."""
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

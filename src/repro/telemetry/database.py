@@ -5,6 +5,10 @@ measured outcome to a "performance database" which is post-processed to
 find the best configuration.  The same store also backs the paper's
 "job-specific policies" GEOPM mode (§3.2.2), where a site keeps a database
 mapping applications to historically good policy parameters.
+
+``add()`` maintains running best/worst records so ``best()`` answers in
+O(1) — the batched tuning loop consults it after every batch, and a full
+scan per call turns quadratic over a long run.
 """
 
 from __future__ import annotations
@@ -55,9 +59,25 @@ class PerformanceDatabase:
     def __init__(self, name: str = "default"):
         self.name = name
         self._records: List[EvaluationRecord] = []
+        # Running best/worst records maintained by add() so best() is O(1)
+        # instead of a full scan — the tuning loop consults it per batch.
+        # Strict comparisons keep min()/max() first-wins tie-breaking.
+        self._min_all: Optional[EvaluationRecord] = None
+        self._max_all: Optional[EvaluationRecord] = None
+        self._min_feasible: Optional[EvaluationRecord] = None
+        self._max_feasible: Optional[EvaluationRecord] = None
 
     def add(self, record: EvaluationRecord) -> None:
         self._records.append(record)
+        if self._min_all is None or record.objective < self._min_all.objective:
+            self._min_all = record
+        if self._max_all is None or record.objective > self._max_all.objective:
+            self._max_all = record
+        if record.feasible:
+            if self._min_feasible is None or record.objective < self._min_feasible.objective:
+                self._min_feasible = record
+            if self._max_feasible is None or record.objective > self._max_feasible.objective:
+                self._max_feasible = record
 
     def add_evaluation(
         self,
@@ -93,14 +113,17 @@ class PerformanceDatabase:
     def best(
         self, minimize: bool = True, feasible_only: bool = True
     ) -> Optional[EvaluationRecord]:
-        """The record with the best objective (``None`` if empty)."""
-        pool = self.records(feasible_only=feasible_only)
-        if not pool:
-            pool = self.records(feasible_only=False)
-        if not pool:
-            return None
-        key: Callable[[EvaluationRecord], float] = lambda r: r.objective
-        return min(pool, key=key) if minimize else max(pool, key=key)
+        """The record with the best objective (``None`` if empty).
+
+        O(1): served from running best records maintained by :meth:`add`
+        (falling back to all records when no feasible one exists, exactly
+        like the previous full scan).
+        """
+        if feasible_only:
+            record = self._min_feasible if minimize else self._max_feasible
+            if record is not None:
+                return record
+        return self._min_all if minimize else self._max_all
 
     def top_k(self, k: int, minimize: bool = True) -> List[EvaluationRecord]:
         pool = sorted(self.records(), key=lambda r: r.objective, reverse=not minimize)

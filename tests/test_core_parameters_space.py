@@ -164,7 +164,7 @@ def test_space_grid_and_cardinality():
 def test_space_subspace_and_merge_and_layers():
     space = make_space()
     app = space.subspace("application")
-    assert app.names() == ["solver"]
+    assert list(app.names()) == ["solver"]
     other = ParameterSpace([BooleanParameter("backfill", layer="system")], name="rm")
     merged = space.merge(other)
     assert set(merged.names()) == {"solver", "tile", "nodes", "backfill"}

@@ -1,0 +1,134 @@
+"""Perf — whole-cluster accounting throughput of the state kernel.
+
+The power-corridor experiments and the resource manager sample system
+power, idle power and accumulated energy on every simulated tick, and the
+seed implementation walked Python ``Node`` objects one at a time — which
+caps cluster sizes at a few dozen nodes.  This benchmark measures the
+struct-of-arrays :class:`~repro.hardware.state.ClusterState` kernel
+against that scalar per-node loop at 1024 nodes, checks the two agree to
+1e-9, and records nodes x events/sec plus the vectorised-vs-scalar
+speedup into ``BENCH_perf.json`` (guarded against >20% regression by
+``conftest.record_perf``).
+"""
+
+import time
+
+import numpy as np
+from conftest import banner, record_perf, run_once
+
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.workload import PhaseDemand
+
+N_NODES = 1024
+SCALAR_ROUNDS = 5
+VECTOR_ROUNDS = 200
+THERMAL_ROUNDS = 50
+PARITY_TOLERANCE = 1e-9
+
+
+def build_cluster() -> Cluster:
+    cluster = Cluster(ClusterSpec(n_nodes=N_NODES), seed=7)
+    demand = PhaseDemand(
+        "compute", 0.05, core_fraction=0.8, memory_fraction=0.12,
+        activity_factor=1.0, ref_threads=56,
+    )
+    rng = np.random.default_rng(11)
+    # A realistic mixed state: ~half the machine busy (with real phase
+    # history so energy/thermal state is non-trivial), caps and DVFS spread.
+    for node in cluster.nodes:
+        if rng.random() < 0.3:
+            node.set_power_cap(float(rng.uniform(300.0, 600.0)))
+        if rng.random() < 0.5:
+            node.set_frequency(float(rng.uniform(1.2, 3.4)))
+        if rng.random() < 0.5:
+            node.allocate(f"job-{node.node_id}")
+            node.execute_phase(demand)
+    return cluster
+
+
+def scalar_accounting_pass(cluster: Cluster) -> tuple:
+    """The seed implementation: Python loops over nodes and packages."""
+    inst = 0.0
+    for node in cluster.nodes:
+        if node.is_free:
+            inst += node.idle_power_w()
+        else:
+            inst += node.current_power_w
+    energy = sum(n.total_energy_j() for n in cluster.nodes)
+    tdp = sum(n.max_power_w() for n in cluster.nodes)
+    idle = sum(n.idle_power_w() for n in cluster.nodes)
+    return inst, energy, tdp, idle
+
+
+def vector_accounting_pass(cluster: Cluster) -> tuple:
+    return (
+        cluster.instantaneous_power_w(),
+        cluster.total_energy_j(),
+        cluster.total_tdp_w(),
+        cluster.total_idle_power_w(),
+    )
+
+
+def run_benchmark():
+    cluster = build_cluster()
+
+    scalar_ref = scalar_accounting_pass(cluster)
+    vector_ref = vector_accounting_pass(cluster)
+    max_rel_err = max(
+        abs(s - v) / max(abs(s), 1e-30) for s, v in zip(scalar_ref, vector_ref)
+    )
+
+    t0 = time.perf_counter()
+    for _ in range(SCALAR_ROUNDS):
+        scalar_accounting_pass(cluster)
+    scalar_elapsed = (time.perf_counter() - t0) / SCALAR_ROUNDS
+
+    t0 = time.perf_counter()
+    for _ in range(VECTOR_ROUNDS):
+        vector_accounting_pass(cluster)
+    vector_elapsed = (time.perf_counter() - t0) / VECTOR_ROUNDS
+
+    # Batched thermal stepping (no scalar twin in the seed: stepping 2048
+    # ThermalModel objects per tick was simply not done at this scale).
+    pkg_power = np.full_like(cluster.state.pkg_temperature_c, 150.0)
+    t0 = time.perf_counter()
+    for _ in range(THERMAL_ROUNDS):
+        cluster.state.advance_thermal(pkg_power, 1.0)
+    thermal_elapsed = (time.perf_counter() - t0) / THERMAL_ROUNDS
+
+    speedup = scalar_elapsed / vector_elapsed
+    # One "event" = one node covered by one whole-cluster accounting pass.
+    node_events_per_sec = N_NODES / vector_elapsed
+    return {
+        "n_nodes": N_NODES,
+        "n_packages": int(cluster.state.pkg_temperature_c.size),
+        "max_rel_error": max_rel_err,
+        "scalar_pass_s": scalar_elapsed,
+        "vector_pass_s": vector_elapsed,
+        "thermal_step_s": thermal_elapsed,
+        "speedup_power_energy": speedup,
+        "node_events_per_sec": node_events_per_sec,
+    }
+
+
+def test_perf_cluster_scale_accounting(benchmark):
+    stats = run_once(benchmark, run_benchmark)
+    banner(
+        f"Perf: cluster state kernel — {N_NODES} nodes, vectorized "
+        f"power/energy/idle accounting vs scalar per-node loop"
+    )
+    print(
+        f"scalar pass {stats['scalar_pass_s'] * 1e3:.2f} ms | vector pass "
+        f"{stats['vector_pass_s'] * 1e3:.3f} ms | speedup {stats['speedup_power_energy']:.1f}x"
+    )
+    print(
+        f"{stats['node_events_per_sec']:,.0f} node-events/sec; batched thermal "
+        f"step {stats['thermal_step_s'] * 1e3:.3f} ms for "
+        f"{stats['n_packages']} packages"
+    )
+    print(f"vectorized vs scalar max relative error: {stats['max_rel_error']:.2e}")
+    path = record_perf("cluster_scale", {k: stats[k] for k in sorted(stats)})
+    print(f"recorded -> {path}")
+
+    assert stats["max_rel_error"] <= PARITY_TOLERANCE
+    assert stats["speedup_power_energy"] >= 10.0

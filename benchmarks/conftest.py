@@ -23,6 +23,15 @@ from typing import Any, Callable, Dict
 #: Machine-readable performance results, merged across benchmark runs.
 PERF_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_perf.json")
 
+#: Headline metrics guarded against regression, per section.  All are
+#: higher-is-better; a new value more than PERF_REGRESSION_TOLERANCE below
+#: the previously recorded one fails the bench run.
+PERF_GUARDED_KEYS = {
+    "tuning_throughput": ("speedup",),
+    "cluster_scale": ("speedup_power_energy",),
+}
+PERF_REGRESSION_TOLERANCE = 0.20
+
 
 def run_once(benchmark, function: Callable, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark and return its result."""
@@ -39,7 +48,15 @@ def record_perf(section: str, values: Dict[str, Any]) -> str:
 
     Each perf benchmark owns one section (e.g. ``"tuning_throughput"``);
     re-running a benchmark overwrites its own section and leaves the
-    others intact.  Returns the path written.
+    others intact.  The section keeps a one-deep history: the accepted
+    values it replaces are preserved under ``"previous"``, and the
+    guarded headline metrics (:data:`PERF_GUARDED_KEYS`) are compared
+    against the accepted baseline — a drop of more than
+    :data:`PERF_REGRESSION_TOLERANCE` fails the bench run.  A regressed
+    run is written under the section's ``"rejected"`` key and does NOT
+    replace the accepted baseline, so re-running the bench keeps failing
+    (and keeps comparing against the last good numbers) until the
+    regression is actually fixed.  Returns the path written.
     """
     path = os.path.abspath(PERF_JSON_PATH)
     data: Dict[str, Any] = {}
@@ -49,8 +66,48 @@ def record_perf(section: str, values: Dict[str, Any]) -> str:
                 data = json.load(fh)
         except (OSError, ValueError):
             data = {}
-    data[section] = values
+    previous = data.get(section)
+    if not isinstance(previous, dict):
+        previous = None
+    accepted = (
+        {k: v for k, v in previous.items() if k not in ("previous", "rejected")}
+        if previous
+        else None
+    )
+    values = dict(values)
+
+    regressions = []
+    if accepted:
+        for key in PERF_GUARDED_KEYS.get(section, ()):
+            old = accepted.get(key)
+            new = values.get(key)
+            if (
+                isinstance(old, (int, float))
+                and isinstance(new, (int, float))
+                and old > 0
+                and new < old * (1.0 - PERF_REGRESSION_TOLERANCE)
+            ):
+                regressions.append(
+                    f"{section}.{key} regressed {old:.3g} -> {new:.3g} "
+                    f"(> {PERF_REGRESSION_TOLERANCE:.0%} drop)"
+                )
+
+    if regressions:
+        # Record the regressed run without promoting it to the baseline.
+        entry = dict(previous)
+        entry["rejected"] = values
+        data[section] = entry
+    else:
+        if accepted:
+            values["previous"] = accepted
+        data[section] = values
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    if regressions:
+        raise AssertionError(
+            "performance regression versus recorded BENCH_perf.json values: "
+            + "; ".join(regressions)
+        )
     return path

@@ -28,6 +28,35 @@ __all__ = ["CoTuningResult", "CoTuner"]
 LayeredEvaluator = Callable[[Dict[str, Dict[str, Any]]], Mapping[str, float]]
 
 
+class _FlatEvaluator:
+    """Splits a flat prefixed configuration and calls the layered evaluator.
+
+    A standalone callable (rather than a bound ``CoTuner`` method) so
+    that ``executor="process"`` only has to pickle the layer names, the
+    separator and the user's evaluator — not the tuner object graph,
+    which by run time contains the search state and the process pool
+    itself and can never be shipped to a worker under the ``spawn``
+    start method.
+    """
+
+    def __init__(self, layers: List[str], separator: str, evaluator: LayeredEvaluator):
+        self.layers = list(layers)
+        self.separator = separator
+        self.evaluator = evaluator
+
+    def split(self, flat_config: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+        nested: Dict[str, Dict[str, Any]] = {layer: {} for layer in self.layers}
+        for key, value in flat_config.items():
+            layer, _, param = key.partition(self.separator)
+            if layer not in nested:
+                raise KeyError(f"configuration key {key!r} does not match any layer")
+            nested[layer][param] = value
+        return nested
+
+    def __call__(self, flat_config: Dict[str, Any]) -> Mapping[str, float]:
+        return self.evaluator(self.split(flat_config))
+
+
 @dataclass
 class CoTuningResult:
     """Result of a co-tuning run, sliced by layer."""
@@ -63,6 +92,16 @@ class CoTuner:
     generations are asked/told at once, evaluations run through the chosen
     executor, and repeated cross-layer configurations are served from the
     memoization cache.  The defaults keep the sequential loop.
+
+    Executor selection (``executor=``):
+
+    * ``"serial"`` — evaluate in the calling thread (the default; right
+      for cheap evaluators and for exactly reproducing sequential runs).
+    * ``"thread"`` — a thread pool; helps evaluators that release the
+      GIL or wait on subprocesses / I/O (real build-and-run ploppers).
+    * ``"process"`` — a process pool for CPU-bound pure-Python
+      evaluators; requires the evaluator to be picklable (module-level
+      function).  ``max_workers`` bounds the pool size for both pools.
     """
 
     SEPARATOR = "."
@@ -79,6 +118,7 @@ class CoTuner:
         name: str = "cotuner",
         batch_size: int = 1,
         executor: str = "serial",
+        max_workers: Optional[int] = None,
         cache_evaluations: bool = False,
     ):
         if not layer_spaces:
@@ -87,9 +127,10 @@ class CoTuner:
         self.layers = list(layer_spaces)
         self.evaluator = evaluator
         self.joint_space = self._build_joint_space()
+        self._flat_evaluator = _FlatEvaluator(self.layers, self.SEPARATOR, evaluator)
         common = dict(
             space=self.joint_space,
-            evaluator=self._evaluate_flat,
+            evaluator=self._flat_evaluator,
             objective=objective,
             constraints=constraints,
             search=search,
@@ -101,6 +142,7 @@ class CoTuner:
             self._autotuner: Autotuner = BatchAutotuner(
                 batch_size=batch_size,
                 executor=executor,
+                max_workers=max_workers,
                 cache_evaluations=cache_evaluations,
                 **common,
             )
@@ -122,13 +164,7 @@ class CoTuner:
 
     def split(self, flat_config: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
         """Split a flat prefixed configuration into per-layer dictionaries."""
-        nested: Dict[str, Dict[str, Any]] = {layer: {} for layer in self.layers}
-        for key, value in flat_config.items():
-            layer, _, param = key.partition(self.SEPARATOR)
-            if layer not in nested:
-                raise KeyError(f"configuration key {key!r} does not match any layer")
-            nested[layer][param] = value
-        return nested
+        return self._flat_evaluator.split(flat_config)
 
     def flatten(self, nested: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
         flat: Dict[str, Any] = {}
@@ -136,9 +172,6 @@ class CoTuner:
             for key, value in params.items():
                 flat[f"{layer}{self.SEPARATOR}{key}"] = value
         return flat
-
-    def _evaluate_flat(self, flat_config: Dict[str, Any]) -> Mapping[str, float]:
-        return self.evaluator(self.split(flat_config))
 
     # -- run ----------------------------------------------------------------------------
     @property

@@ -78,7 +78,16 @@ class EndToEndResult:
 
 
 class EndToEndTuner:
-    """Co-tunes system, runtime, node, application and compiler layers."""
+    """Co-tunes system, runtime, node, application and compiler layers.
+
+    Executor selection (``executor=``, forwarded to the batched engine):
+    ``"serial"`` evaluates in the calling thread; ``"thread"`` suits
+    evaluators that wait on subprocesses or I/O; ``"process"`` runs
+    CPU-bound evaluations on a process pool past the GIL — note the
+    end-to-end evaluator replays whole simulated workloads, which is
+    exactly the CPU-bound shape the process pool is for.  ``max_workers``
+    bounds either pool.
+    """
 
     def __init__(
         self,
@@ -93,6 +102,7 @@ class EndToEndTuner:
         seed: int = 0,
         batch_size: int = 1,
         executor: str = "serial",
+        max_workers: Optional[int] = None,
         cache_evaluations: bool = False,
     ):
         if not workload:
@@ -112,6 +122,7 @@ class EndToEndTuner:
         #: replays the full workload, so hits are pure savings).
         self.batch_size = int(batch_size)
         self.executor = executor
+        self.max_workers = max_workers
         self.cache_evaluations = bool(cache_evaluations)
         self.translator = GoalTranslator()
         self._evaluation_count = 0
@@ -271,6 +282,7 @@ class EndToEndTuner:
             name="end-to-end",
             batch_size=self.batch_size,
             executor=self.executor,
+            max_workers=self.max_workers,
             cache_evaluations=self.cache_evaluations,
         )
         baseline_metrics = dict(self.evaluate(self.baseline_configuration()))

@@ -9,17 +9,21 @@ best configuration is read off the database at the end.
 :class:`BatchAutotuner` is the batched/parallel variant: it drives the
 same loop through :meth:`SearchAlgorithm.ask_batch` /
 :meth:`SearchAlgorithm.tell_batch`, evaluates each batch through a
-pluggable executor (:class:`SerialExecutor` or the thread-pool
-:class:`ThreadedExecutor`) and memoizes evaluator calls in an
-:class:`EvaluationCache` keyed by the canonical configuration.  With
-``batch_size=1``, a serial executor and the cache disabled it reproduces
-the sequential :class:`Autotuner` bit-for-bit.
+pluggable executor (:class:`SerialExecutor`, the thread-pool
+:class:`ThreadedExecutor` for GIL-releasing / subprocess evaluators, or
+the process-pool :class:`ProcessExecutor` for CPU-bound pure-Python
+evaluators) and memoizes evaluator calls in an :class:`EvaluationCache`
+keyed by the canonical configuration.  With ``batch_size=1``, a serial
+executor and the cache disabled it reproduces the sequential
+:class:`Autotuner` bit-for-bit.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ThreadPoolExecutor
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -36,6 +40,7 @@ __all__ = [
     "EvaluationCache",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "make_executor",
 ]
 
@@ -79,8 +84,101 @@ class ThreadedExecutor:
             self._pool = None
 
 
+#: Worker-process global holding the evaluator shipped at pool start-up.
+_PROCESS_EVALUATOR: Optional[Evaluator] = None
+
+
+def _process_worker_init(evaluator: Evaluator) -> None:
+    """Pool initializer: install the evaluator once per worker process."""
+    global _PROCESS_EVALUATOR
+    _PROCESS_EVALUATOR = evaluator
+
+
+def _process_worker_call(config: Dict[str, Any]) -> _Outcome:
+    """Evaluate one configuration in a worker, mirroring ``_call_evaluator``.
+
+    The exception-to-failure-metrics conversion must happen *inside* the
+    worker: exceptions are data to the tuning loop, and letting them
+    propagate would poison the whole ``Executor.map`` batch.
+    """
+    try:
+        return dict(_PROCESS_EVALUATOR(config)), False
+    except Exception as error:  # evaluator failures are data, not crashes
+        metrics = {"error": 1.0, "error_message_hash": float(abs(hash(str(error))) % 10_000)}
+        return metrics, True
+
+
+class ProcessExecutor:
+    """Evaluates a batch on a process pool (order-preserving).
+
+    The executor for CPU-bound pure-Python evaluators, which the thread
+    pool cannot speed up because of the GIL.  The contract: the evaluator
+    must be *picklable* (a module-level function or a picklable callable
+    object) — it is shipped to each worker once via the pool initializer,
+    and batches are submitted in chunks so per-item IPC overhead is
+    amortised.  Note ``error_message_hash`` of failures may differ from
+    the in-process executors because string hashing is per-process.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None, chunksize: Optional[int] = None):
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        self._evaluator: Optional[Evaluator] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def bind_evaluator(self, evaluator: Evaluator) -> None:
+        """Declare the evaluator the pool will run (checked for picklability)."""
+        try:
+            pickle.dumps(evaluator)
+        except Exception as error:
+            raise TypeError(
+                "the process executor requires a picklable evaluator "
+                "(define it at module level, or use executor='thread'): "
+                f"{error}"
+            ) from error
+        if self._pool is not None and evaluator is not self._evaluator:
+            self.close()
+        self._evaluator = evaluator
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Evaluate ``items`` on the pool; order-preserving.
+
+        NOTE: when an evaluator is bound, ``fn`` is *not* shipped to the
+        workers — the pool runs the stock evaluate-and-convert-failures
+        wrapper (:func:`_process_worker_call`) around the bound evaluator
+        instead, because pickling an arbitrary ``fn`` (typically a tuner
+        bound method) would drag the whole tuner object graph across the
+        process boundary.  ``BatchAutotuner`` enforces this contract by
+        rejecting subclasses that override ``_call_evaluator``.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self._evaluator is None:
+            # No bound evaluator (used outside BatchAutotuner): degrade to
+            # in-process evaluation rather than pickling a bound method.
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_process_worker_init,
+                initargs=(self._evaluator,),
+            )
+        workers = self.max_workers or os.cpu_count() or 1
+        chunksize = self.chunksize or max(1, math.ceil(len(items) / (workers * 4)))
+        return list(self._pool.map(_process_worker_call, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
 def make_executor(spec: Union[str, Any], max_workers: Optional[int] = None):
-    """Resolve an executor spec (``"serial"``, ``"thread"`` or an object)."""
+    """Resolve an executor spec (``"serial"``, ``"thread"``, ``"process"``
+    or an object with a ``.map(fn, items)`` method)."""
     if not isinstance(spec, str):
         if not hasattr(spec, "map"):
             raise TypeError(f"executor {spec!r} must provide a .map(fn, items) method")
@@ -90,7 +188,9 @@ def make_executor(spec: Union[str, Any], max_workers: Optional[int] = None):
         return SerialExecutor()
     if key in ("thread", "threads", "threadpool"):
         return ThreadedExecutor(max_workers=max_workers)
-    raise ValueError(f"unknown executor {spec!r}; available: serial, thread")
+    if key in ("process", "processes", "processpool"):
+        return ProcessExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor {spec!r}; available: serial, thread, process")
 
 
 class EvaluationCache:
@@ -313,6 +413,19 @@ class BatchAutotuner(Autotuner):
             raise ValueError("batch_size must be >= 1")
         self.batch_size = int(batch_size)
         self.executor = make_executor(executor, max_workers=max_workers)
+        # The process executor ships the evaluator to its workers once, at
+        # pool start-up; it checks picklability here so a bad evaluator
+        # fails fast instead of at the first batch.
+        bind = getattr(self.executor, "bind_evaluator", None)
+        if bind is not None:
+            if type(self)._call_evaluator is not Autotuner._call_evaluator:
+                raise TypeError(
+                    "the process executor replicates the stock "
+                    "Autotuner._call_evaluator inside its workers; a subclass "
+                    "overriding _call_evaluator must use the serial or thread "
+                    "executor instead"
+                )
+            bind(self.evaluator)
         self.cache: Optional[EvaluationCache] = (
             EvaluationCache() if cache_evaluations else None
         )

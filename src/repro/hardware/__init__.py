@@ -19,6 +19,10 @@ hardware model that exposes the *same control and telemetry surface*:
 * :class:`~repro.hardware.node.Node` and
   :class:`~repro.hardware.cluster.Cluster` — nodes (sockets + DRAM + NIC +
   optional GPUs) aggregated into a cluster with a site power meter.
+* :class:`~repro.hardware.state.ClusterState` — the struct-of-arrays
+  state kernel behind nodes and clusters: per-package/per-node numpy
+  arrays with vectorised whole-cluster power, energy, thermal and
+  power-cap operations.
 """
 
 from repro.hardware.cluster import Cluster, ClusterSpec
@@ -27,6 +31,7 @@ from repro.hardware.gpu import GpuDevice, GpuSpec
 from repro.hardware.node import Node, NodeSpec
 from repro.hardware.power_model import PowerModelParams
 from repro.hardware.rapl import RaplDomain, RaplInterface
+from repro.hardware.state import ClusterState
 from repro.hardware.thermal import ThermalModel, ThermalSpec
 from repro.hardware.variation import VariationModel
 from repro.hardware.workload import PhaseDemand
@@ -34,6 +39,7 @@ from repro.hardware.workload import PhaseDemand
 __all__ = [
     "Cluster",
     "ClusterSpec",
+    "ClusterState",
     "CpuPackage",
     "CpuSpec",
     "GpuDevice",

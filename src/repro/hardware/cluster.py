@@ -4,6 +4,15 @@ A :class:`Cluster` is what the system-level layer of the PowerStack
 (resource manager, site policies) operates on: it owns the nodes, knows
 the site's procured power, and exposes a system power meter that the
 power-corridor experiments (Figure 6, use case 5) sample over time.
+
+All per-node and per-package state is held in one struct-of-arrays
+:class:`~repro.hardware.state.ClusterState`, so the whole-cluster
+operations here (total power, total energy, idle power, free/busy
+partitioning, power-cap distribution, batched thermal stepping) are
+single numpy expressions rather than Python loops over ``self.nodes``.
+The :class:`~repro.hardware.node.Node` objects remain the mutation API —
+they read and write views into the same arrays, so the two layers can
+never disagree.
 """
 
 from __future__ import annotations
@@ -14,7 +23,8 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.hardware.node import Node, NodeSpec
-from repro.hardware.variation import VariationModel
+from repro.hardware.state import ClusterState
+from repro.hardware.variation import VariationDraw, VariationModel
 from repro.sim.rng import RandomStreams
 
 __all__ = ["ClusterSpec", "Cluster"]
@@ -51,19 +61,42 @@ class Cluster:
         rng = self.streams.stream("cluster.variation")
         ambient_rng = self.streams.stream("cluster.ambient")
 
+        node_spec = self.spec.node
+        n_nodes = self.spec.n_nodes
+        n_sockets = node_spec.n_sockets
+        self.state = ClusterState(
+            n_nodes, n_sockets, node_spec.n_gpus, node_spec=node_spec
+        )
+
+        # One vectorised draw for the whole machine: consumes the random
+        # streams in the exact per-node order of the scalar loop, so seeded
+        # clusters are bit-identical to the previous construction path.
+        power_eff, turbo, leakage = self.spec.variation.draw_array(
+            rng, n_nodes * n_sockets
+        )
+        ambient_offsets = ambient_rng.uniform(
+            0.0, self.spec.ambient_spread_c, size=n_nodes
+        )
+
         self.nodes: List[Node] = []
-        for i in range(self.spec.n_nodes):
-            variations = self.spec.variation.draw_many(rng, self.spec.node.n_sockets)
-            ambient_offset = float(
-                ambient_rng.uniform(0.0, self.spec.ambient_spread_c)
-            )
+        for i in range(n_nodes):
+            variations = [
+                VariationDraw(
+                    power_efficiency=float(power_eff[i * n_sockets + s]),
+                    max_turbo_scale=float(turbo[i * n_sockets + s]),
+                    leakage_scale=float(leakage[i * n_sockets + s]),
+                )
+                for s in range(n_sockets)
+            ]
             self.nodes.append(
                 Node(
-                    self.spec.node,
+                    node_spec,
                     hostname=f"{self.spec.name}-{i:04d}",
                     node_id=i,
                     variations=variations,
-                    ambient_offset_c=ambient_offset,
+                    ambient_offset_c=float(ambient_offsets[i]),
+                    state=self.state,
+                    node_index=i,
                 )
             )
         self._by_hostname: Dict[str, Node] = {n.hostname: n for n in self.nodes}
@@ -84,10 +117,12 @@ class Cluster:
         return self._by_hostname[hostname_or_id]
 
     def free_nodes(self) -> List[Node]:
-        return [n for n in self.nodes if n.is_free]
+        """Unallocated nodes in node-id order (from the incremental mask)."""
+        return [self.nodes[i] for i in self.state.free_indices()]
 
     def allocated_nodes(self) -> List[Node]:
-        return [n for n in self.nodes if not n.is_free]
+        """Allocated nodes in node-id order (from the incremental mask)."""
+        return [self.nodes[i] for i in self.state.busy_indices()]
 
     # -- power accounting -----------------------------------------------------
     @property
@@ -97,23 +132,40 @@ class Cluster:
         return self.total_tdp_w()
 
     def total_tdp_w(self) -> float:
-        return sum(n.max_power_w() for n in self.nodes)
+        return self.state.total_tdp_w()
 
     def total_idle_power_w(self) -> float:
-        return sum(n.idle_power_w() for n in self.nodes)
+        return self.state.total_idle_power_w()
 
     def instantaneous_power_w(self, include_idle: bool = True) -> float:
         """Current system power: busy nodes at their draw, idle at idle power."""
-        total = 0.0
-        for node in self.nodes:
-            if node.is_free:
-                total += node.idle_power_w() if include_idle else 0.0
-            else:
-                total += node.current_power_w
-        return total
+        return self.state.instantaneous_power_w(include_idle=include_idle)
 
     def total_energy_j(self) -> float:
-        return sum(n.total_energy_j() for n in self.nodes)
+        total = self.state.total_energy_j()
+        if self.spec.node.n_gpus > 0:
+            total += sum(gpu.energy_j for node in self.nodes for gpu in node.gpus)
+        return total
+
+    # -- batched physics -------------------------------------------------------
+    def advance_thermal(
+        self, dt_s: float, pkg_power_w: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Advance every package's thermal model ``dt_s`` seconds at once.
+
+        When ``pkg_power_w`` (shape ``(n_nodes, n_sockets)``) is omitted,
+        busy nodes dissipate their current compute power split evenly
+        across sockets and idle nodes dissipate their idle package power —
+        the same assumption the scalar per-node sampling loop makes.
+        """
+        if pkg_power_w is None:
+            idle_pkg = self.state.idle_power_per_package()
+            busy_share = (
+                self.state.node_current_power_w - self.spec.node.platform_power_w
+            ) / self.spec.node.n_sockets
+            busy_pkg = np.maximum(busy_share, 0.0)[:, None]
+            pkg_power_w = np.where(self.state.node_free[:, None], idle_pkg, busy_pkg)
+        return self.state.advance_thermal(pkg_power_w, dt_s)
 
     # -- node selection helpers -------------------------------------------------
     def rank_nodes_by_efficiency(self, nodes: Optional[Iterable[Node]] = None) -> List[Node]:
@@ -124,30 +176,63 @@ class Cluster:
         prefers them (§3.1.1 "which nodes to select ... manufacturing
         variation").
         """
-        pool = list(self.nodes if nodes is None else nodes)
+        if nodes is None:
+            badness = self.state.pkg_power_efficiency.mean(axis=1)
+            return [self.nodes[i] for i in np.argsort(badness, kind="stable")]
+        pool = list(nodes)
 
-        def badness(node: Node) -> float:
+        def badness_of(node: Node) -> float:
             return float(
                 np.mean([pkg.variation.power_efficiency for pkg in node.packages])
             )
 
-        return sorted(pool, key=badness)
+        return sorted(pool, key=badness_of)
 
     def rank_nodes_by_temperature(self, nodes: Optional[Iterable[Node]] = None) -> List[Node]:
         """Nodes ordered coolest-first (thermal-aware selection)."""
-        pool = list(self.nodes if nodes is None else nodes)
+        if nodes is None:
+            hottest = self.state.pkg_temperature_c.max(axis=1)
+            return [self.nodes[i] for i in np.argsort(hottest, kind="stable")]
+        pool = list(nodes)
         return sorted(pool, key=lambda n: n.max_temperature_c())
+
+    # -- power capping ----------------------------------------------------------
+    def apply_power_caps(self, per_node_watts: np.ndarray) -> np.ndarray:
+        """Apply a per-node power-cap vector in one vectorised pass.
+
+        ``per_node_watts`` has one entry per node; NaN entries uncap.  The
+        package-cap arithmetic runs as numpy expressions over the whole
+        cluster (:meth:`ClusterState.set_node_power_caps`); only the RAPL
+        bookkeeping objects are updated per node.  Returns the enforced
+        node caps (NaN where uncapped).
+        """
+        caps = np.asarray(per_node_watts, dtype=float)
+        applied, cpu_share = self.state.set_node_power_caps(caps)
+        has_gpus = self.spec.node.n_gpus > 0
+        for i, node in enumerate(self.nodes):
+            if np.isnan(applied[i]):
+                node.rapl.clear_all_limits()
+                if has_gpus:
+                    for gpu in node.gpus:
+                        gpu.set_power_cap(None)
+            else:
+                node.rapl.set_node_package_limit(float(cpu_share[i]))
+                if has_gpus:
+                    gpu_share = (applied[i] - self.spec.node.platform_power_w) - cpu_share[i]
+                    for gpu in node.gpus:
+                        gpu.set_power_cap(float(gpu_share) / self.spec.node.n_gpus)
+        return applied
 
     def apply_uniform_power_cap(self, per_node_watts: Optional[float]) -> None:
         """Cap every node at the same value (the naive baseline policy)."""
-        for node in self.nodes:
-            node.set_power_cap(per_node_watts)
+        value = np.nan if per_node_watts is None else float(per_node_watts)
+        self.apply_power_caps(np.full(len(self.nodes), value))
 
     def summary(self) -> Dict[str, float]:
         """A small dictionary of headline cluster facts (for reports)."""
         return {
             "nodes": float(len(self.nodes)),
-            "cores": float(sum(n.spec.total_cores for n in self.nodes)),
+            "cores": float(self.spec.node.total_cores * len(self.nodes)),
             "tdp_w": self.total_tdp_w(),
             "idle_w": self.total_idle_power_w(),
             "budget_w": self.system_power_budget_w,

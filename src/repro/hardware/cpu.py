@@ -12,17 +12,33 @@ the knob settings is most restrictive, exactly like firmware does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.hardware import power_model as pm
 from repro.hardware.power_model import PowerModelParams
+from repro.hardware.state import IDLE_DEMAND, ClusterState
 from repro.hardware.thermal import ThermalModel, ThermalSpec
 from repro.hardware.variation import VariationDraw, VariationModel
 from repro.hardware.workload import PhaseDemand
 
 __all__ = ["PState", "CpuSpec", "PhaseExecution", "CpuPackage"]
+
+
+@lru_cache(maxsize=None)
+def _cached_pstates(spec: "CpuSpec") -> tuple["PState", ...]:
+    """P-state table per SKU, shared across all packages of a cluster."""
+    return tuple(spec.pstates())
+
+
+@lru_cache(maxsize=None)
+def _cached_pstate_freqs(spec: "CpuSpec") -> np.ndarray:
+    """Frequencies of the P-state table as a read-only array."""
+    freqs = np.array([p.frequency_ghz for p in _cached_pstates(spec)])
+    freqs.setflags(write=False)
+    return freqs
 
 
 @dataclass(frozen=True)
@@ -106,7 +122,15 @@ class PhaseExecution:
 
 
 class CpuPackage:
-    """Stateful processor package with DVFS, uncore and power-cap controls."""
+    """Stateful processor package with DVFS, uncore and power-cap controls.
+
+    All mutable state (frequency/uncore targets, power cap, accumulated
+    energy, busy time, die temperature) lives in a
+    :class:`~repro.hardware.state.ClusterState` — either the shared
+    cluster-wide store (``state``/``index`` given) or a private one-row
+    store for standalone packages.  The scalar accessors below are views
+    into those arrays, so per-package and whole-cluster code always agree.
+    """
 
     def __init__(
         self,
@@ -114,22 +138,39 @@ class CpuPackage:
         variation: VariationDraw | None = None,
         thermal_spec: ThermalSpec | None = None,
         package_id: int = 0,
+        state: Optional[ClusterState] = None,
+        index: Optional[Tuple[int, int]] = None,
     ):
         self.spec = spec or CpuSpec()
         self.variation = variation or VariationModel.nominal()
-        self.thermal = ThermalModel(thermal_spec)
         self.package_id = package_id
+        if state is None:
+            state = ClusterState(1, 1)
+            index = (0, 0)
+        if index is None:
+            raise ValueError("state and index must be given together")
+        self._state = state
+        self._index = index
+        self.thermal = ThermalModel(
+            thermal_spec,
+            temps=state.pkg_temperature_c,
+            offsets=state.pkg_ambient_offset_c,
+            index=index,
+        )
 
-        self._pstates = self.spec.pstates()
-        # Achievable turbo is scaled by manufacturing variation.
-        self._max_freq = self.spec.freq_max_ghz * self.variation.max_turbo_scale
-        self._freq_target_ghz = self.spec.freq_base_ghz
-        self._uncore_ghz = self.spec.uncore_max_ghz
+        self._pstates = _cached_pstates(self.spec)
+        # Bind this package's cells: achievable turbo is scaled by
+        # manufacturing variation, knobs start at their firmware defaults.
+        state.pkg_max_freq_ghz[index] = self.spec.freq_max_ghz * self.variation.max_turbo_scale
+        state.pkg_freq_target_ghz[index] = self.spec.freq_base_ghz
+        state.pkg_uncore_ghz[index] = self.spec.uncore_max_ghz
         # Real packages ship with RAPL PL1 = TDP; "uncapping" a package
         # therefore means resetting the limit to TDP, never to infinity.
-        self._power_cap_w: Optional[float] = self.spec.tdp_w
-        self._energy_j = 0.0
-        self._busy_seconds = 0.0
+        state.pkg_power_cap_w[index] = self.spec.tdp_w
+        state.pkg_power_efficiency[index] = self.variation.power_efficiency
+        state.pkg_leakage_scale[index] = self.variation.leakage_scale
+        state.pkg_energy_j[index] = 0.0
+        state.pkg_busy_seconds[index] = 0.0
 
     # -- properties ------------------------------------------------------
     @property
@@ -139,35 +180,35 @@ class CpuPackage:
     @property
     def frequency_ghz(self) -> float:
         """Current frequency target (before power capping)."""
-        return self._freq_target_ghz
+        return float(self._state.pkg_freq_target_ghz[self._index])
 
     @property
     def uncore_ghz(self) -> float:
-        return self._uncore_ghz
+        return float(self._state.pkg_uncore_ghz[self._index])
 
     @property
     def power_cap_w(self) -> Optional[float]:
-        return self._power_cap_w
+        return float(self._state.pkg_power_cap_w[self._index])
 
     @property
     def max_frequency_ghz(self) -> float:
         """Maximum achievable frequency for this particular part."""
-        return self._max_freq
+        return float(self._state.pkg_max_freq_ghz[self._index])
 
     @property
     def energy_j(self) -> float:
         """Total energy consumed by phases executed on this package."""
-        return self._energy_j
+        return float(self._state.pkg_energy_j[self._index])
 
     @property
     def busy_seconds(self) -> float:
-        return self._busy_seconds
+        return float(self._state.pkg_busy_seconds[self._index])
 
     # -- knob setters ----------------------------------------------------
     def clamp_frequency(self, freq_ghz: float) -> float:
         """Clamp a requested frequency to the nearest supported P-state."""
-        freq = float(np.clip(freq_ghz, self.spec.freq_min_ghz, self._max_freq))
-        freqs = np.array([p.frequency_ghz for p in self._pstates])
+        freq = float(np.clip(freq_ghz, self.spec.freq_min_ghz, self.max_frequency_ghz))
+        freqs = _cached_pstate_freqs(self.spec)
         feasible = freqs[freqs <= freq + 1e-9]
         if feasible.size == 0:
             return float(freqs.min())
@@ -175,23 +216,25 @@ class CpuPackage:
 
     def set_frequency(self, freq_ghz: float) -> float:
         """Request a core frequency; returns the granted P-state frequency."""
-        self._freq_target_ghz = self.clamp_frequency(freq_ghz)
-        return self._freq_target_ghz
+        granted = self.clamp_frequency(freq_ghz)
+        self._state.pkg_freq_target_ghz[self._index] = granted
+        return granted
 
     def set_uncore_frequency(self, uncore_ghz: float) -> float:
         """Request an uncore frequency; returns the granted value."""
-        self._uncore_ghz = float(
+        granted = float(
             np.clip(uncore_ghz, self.spec.uncore_min_ghz, self.spec.uncore_max_ghz)
         )
-        return self._uncore_ghz
+        self._state.pkg_uncore_ghz[self._index] = granted
+        return granted
 
     def set_power_cap(self, watts: Optional[float]) -> Optional[float]:
         """Apply a package power cap (``None`` resets to the TDP default)."""
         if watts is None:
-            self._power_cap_w = self.spec.tdp_w
-            return self._power_cap_w
+            self._state.pkg_power_cap_w[self._index] = self.spec.tdp_w
+            return self.spec.tdp_w
         cap = float(np.clip(watts, self.spec.min_power_cap_w, self.spec.tdp_w))
-        self._power_cap_w = cap
+        self._state.pkg_power_cap_w[self._index] = cap
         return cap
 
     # -- power / performance ---------------------------------------------
@@ -203,8 +246,8 @@ class CpuPackage:
         active_cores: Optional[int] = None,
     ) -> float:
         """Package + DRAM power for a demand at a hypothetical setting (W)."""
-        freq = self._freq_target_ghz if freq_ghz is None else freq_ghz
-        uncore = self._uncore_ghz if uncore_ghz is None else uncore_ghz
+        freq = self.frequency_ghz if freq_ghz is None else freq_ghz
+        uncore = self.uncore_ghz if uncore_ghz is None else uncore_ghz
         cores = self.spec.cores if active_cores is None else min(active_cores, self.spec.cores)
         base = pm.package_power(
             demand,
@@ -212,7 +255,7 @@ class CpuPackage:
             uncore,
             cores,
             self.spec.freq_min_ghz,
-            self._max_freq,
+            self.max_frequency_ghz,
             self.spec.uncore_min_ghz,
             self.spec.uncore_max_ghz,
             self.spec.params,
@@ -227,17 +270,13 @@ class CpuPackage:
         return base + static_extra
 
     def idle_power_w(self) -> float:
-        """Power drawn when no phase is executing."""
-        idle_demand = PhaseDemand(
-            name="idle",
-            ref_seconds=1.0,
-            core_fraction=0.0,
-            memory_fraction=0.0,
-            comm_fraction=0.0,
-            activity_factor=0.05,
-            dram_intensity=0.02,
-        )
-        return self.power_at(idle_demand, freq_ghz=self.spec.freq_min_ghz, active_cores=0)
+        """Power drawn when no phase is executing.
+
+        Uses the shared :data:`~repro.hardware.state.IDLE_DEMAND` so the
+        scalar path and the vectorised kernel can never disagree on what
+        "idle" means.
+        """
+        return self.power_at(IDLE_DEMAND, freq_ghz=self.spec.freq_min_ghz, active_cores=0)
 
     def effective_frequency(
         self, demand: PhaseDemand, active_cores: Optional[int] = None
@@ -248,15 +287,16 @@ class CpuPackage:
         firmware walks down the P-states until the running-average power
         fits under the cap (or the minimum P-state is reached).
         """
-        target = self._freq_target_ghz
-        if self._power_cap_w is None:
+        target = self.frequency_ghz
+        cap = self.power_cap_w
+        if cap is None:
             return target, False
         candidates = [p.frequency_ghz for p in self._pstates if p.frequency_ghz <= target + 1e-9]
         if not candidates:
             candidates = [self.spec.freq_min_ghz]
         for freq in candidates:  # high to low
             power = self.power_at(demand, freq_ghz=freq, active_cores=active_cores)
-            if power <= self._power_cap_w + 1e-9:
+            if power <= cap + 1e-9:
                 return freq, freq < target - 1e-9
         return candidates[-1], True
 
@@ -277,11 +317,12 @@ class CpuPackage:
         ref_freq = self.spec.freq_base_ghz if ref_freq_ghz is None else ref_freq_ghz
         ref_uncore = self.spec.uncore_max_ghz if ref_uncore_ghz is None else ref_uncore_ghz
 
+        uncore = self.uncore_ghz
         freq, capped = self.effective_frequency(demand, active_cores=threads)
         duration = pm.phase_duration(
             demand,
             freq,
-            self._uncore_ghz,
+            uncore,
             threads,
             ref_freq,
             ref_uncore,
@@ -289,14 +330,15 @@ class CpuPackage:
             comm_seconds_override=comm_seconds_override,
         )
         power = self.power_at(demand, freq_ghz=freq, active_cores=threads)
-        if self._power_cap_w is not None:
-            power = min(power, max(self._power_cap_w, self.spec.min_power_cap_w))
+        cap = self.power_cap_w
+        if cap is not None:
+            power = min(power, max(cap, self.spec.min_power_cap_w))
         energy = power * duration
         ipc = pm.effective_ipc(demand, duration, freq, threads, ref_freq)
         flops = pm.effective_flops(demand, duration)
 
-        self._energy_j += energy
-        self._busy_seconds += duration
+        self._state.pkg_energy_j[self._index] += energy
+        self._state.pkg_busy_seconds[self._index] += duration
         temperature = self.thermal.advance(power, duration)
 
         return PhaseExecution(
@@ -305,7 +347,7 @@ class CpuPackage:
             power_w=power,
             energy_j=energy,
             frequency_ghz=freq,
-            uncore_ghz=self._uncore_ghz,
+            uncore_ghz=uncore,
             threads=threads,
             ipc=ipc,
             flops=flops,
@@ -316,5 +358,5 @@ class CpuPackage:
     def __repr__(self) -> str:
         return (
             f"CpuPackage(id={self.package_id}, model={self.spec.model!r}, "
-            f"freq={self._freq_target_ghz:.2f}GHz, cap={self._power_cap_w})"
+            f"freq={self.frequency_ghz:.2f}GHz, cap={self.power_cap_w})"
         )

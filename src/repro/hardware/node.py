@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from repro.hardware.cpu import CpuPackage, CpuSpec, PhaseExecution
 from repro.hardware.gpu import GpuDevice, GpuSpec
 from repro.hardware.rapl import RaplInterface
+from repro.hardware.state import ClusterState
 from repro.hardware.thermal import ThermalSpec
 from repro.hardware.variation import VariationDraw, VariationModel
 from repro.hardware.workload import PhaseDemand
@@ -96,7 +99,17 @@ class NodePhaseResult:
 
 
 class Node:
-    """A compute node with node-level power and frequency controls."""
+    """A compute node with node-level power and frequency controls.
+
+    A node's mutable state (allocation, instantaneous power, node cap,
+    and everything inside its packages) lives in a
+    :class:`~repro.hardware.state.ClusterState` row — the shared cluster
+    store when ``state``/``node_index`` are given, or a private one-row
+    store for standalone nodes.  The scalar attributes below are views,
+    so cluster-wide vectorised accounting and the per-node API always
+    agree; in particular ``allocate``/``release`` keep the cluster's
+    free-node mask current without any rescan.
+    """
 
     def __init__(
         self,
@@ -105,10 +118,21 @@ class Node:
         node_id: int = 0,
         variations: Optional[List[VariationDraw]] = None,
         ambient_offset_c: float = 0.0,
+        state: Optional[ClusterState] = None,
+        node_index: Optional[int] = None,
     ):
         self.spec = spec or NodeSpec()
         self.hostname = hostname
         self.node_id = node_id
+        if state is None:
+            state = ClusterState(
+                1, self.spec.n_sockets, self.spec.n_gpus, node_spec=self.spec
+            )
+            node_index = 0
+        if node_index is None:
+            raise ValueError("state and node_index must be given together")
+        self._state = state
+        self._node_index = int(node_index)
 
         if variations is None:
             variations = [VariationModel.nominal() for _ in range(self.spec.n_sockets)]
@@ -116,7 +140,14 @@ class Node:
             raise ValueError("one variation draw per socket is required")
 
         self.packages: List[CpuPackage] = [
-            CpuPackage(self.spec.cpu, variations[i], self.spec.thermal, package_id=i)
+            CpuPackage(
+                self.spec.cpu,
+                variations[i],
+                self.spec.thermal,
+                package_id=i,
+                state=state,
+                index=(self._node_index, i),
+            )
             for i in range(self.spec.n_sockets)
         ]
         for pkg in self.packages:
@@ -131,21 +162,33 @@ class Node:
         )
 
         #: Job currently holding the node (None when free).
-        self.allocated_to: Optional[str] = None
+        self._allocated_to: Optional[str] = None
+        state.node_free[self._node_index] = True
+        state.node_power_cap_w[self._node_index] = np.nan
         #: Instantaneous power draw used by the cluster power meter (W).
-        self.current_power_w: float = self.idle_power_w()
-        #: Node power cap currently in force (None = uncapped).
-        self._node_power_cap_w: Optional[float] = None
+        self.current_power_w = self.idle_power_w()
 
     # -- allocation -------------------------------------------------------
     @property
+    def allocated_to(self) -> Optional[str]:
+        """Job currently holding the node (None when free)."""
+        return self._allocated_to
+
+    @allocated_to.setter
+    def allocated_to(self, job_id: Optional[str]) -> None:
+        self._allocated_to = job_id
+        # Keep the cluster's incremental free mask in sync (several layers
+        # release nodes by assigning the attribute directly).
+        self._state.node_free[self._node_index] = job_id is None
+
+    @property
     def is_free(self) -> bool:
-        return self.allocated_to is None
+        return self._allocated_to is None
 
     def allocate(self, job_id: str) -> None:
-        if self.allocated_to is not None:
+        if self._allocated_to is not None:
             raise RuntimeError(
-                f"{self.hostname} already allocated to {self.allocated_to!r}"
+                f"{self.hostname} already allocated to {self._allocated_to!r}"
             )
         self.allocated_to = job_id
 
@@ -155,8 +198,18 @@ class Node:
 
     # -- power / frequency controls ----------------------------------------
     @property
+    def current_power_w(self) -> float:
+        """Instantaneous power draw used by the cluster power meter (W)."""
+        return float(self._state.node_current_power_w[self._node_index])
+
+    @current_power_w.setter
+    def current_power_w(self, watts: float) -> None:
+        self._state.node_current_power_w[self._node_index] = float(watts)
+
+    @property
     def node_power_cap_w(self) -> Optional[float]:
-        return self._node_power_cap_w
+        cap = self._state.node_power_cap_w[self._node_index]
+        return None if np.isnan(cap) else float(cap)
 
     def set_power_cap(self, node_watts: Optional[float]) -> Optional[float]:
         """Apply a node-level power cap; returns the enforced value.
@@ -165,7 +218,7 @@ class Node:
         across packages (GPUs get their proportional share when present).
         """
         if node_watts is None:
-            self._node_power_cap_w = None
+            self._state.node_power_cap_w[self._node_index] = np.nan
             for pkg in self.packages:
                 pkg.set_power_cap(None)
             for gpu in self.gpus:
@@ -188,7 +241,7 @@ class Node:
         for i, gpu in enumerate(self.gpus):
             applied += gpu.set_power_cap(gpu_share / self.spec.n_gpus) or 0.0
         self.rapl.set_node_package_limit(cpu_share)
-        self._node_power_cap_w = node_watts
+        self._state.node_power_cap_w[self._node_index] = node_watts
         return node_watts
 
     def set_frequency(self, freq_ghz: float) -> float:
@@ -285,5 +338,5 @@ class Node:
     def __repr__(self) -> str:
         return (
             f"Node({self.hostname!r}, sockets={self.spec.n_sockets}, "
-            f"cap={self._node_power_cap_w}, job={self.allocated_to!r})"
+            f"cap={self.node_power_cap_w}, job={self.allocated_to!r})"
         )

@@ -33,6 +33,11 @@ __all__ = [
     "phase_duration",
     "effective_ipc",
     "effective_flops",
+    "voltage_at_frequency_array",
+    "core_dynamic_power_array",
+    "uncore_power_array",
+    "static_power_array",
+    "package_power_array",
 ]
 
 
@@ -184,6 +189,110 @@ def package_power(
     p_static = static_power(temp, params)
     p_dram = dram_power(demand.dram_intensity, params)
     return p_core + p_uncore + p_static + p_dram
+
+
+# -- array (struct-of-arrays) variants ---------------------------------------
+#
+# Elementwise twins of the scalar functions above, used by the
+# :class:`~repro.hardware.state.ClusterState` kernel to evaluate the power
+# model for every package of a cluster in one numpy expression.  They apply
+# the exact same IEEE operations as the scalar versions, so per-element
+# results agree with the per-package loop to floating-point rounding.
+
+
+def voltage_at_frequency_array(
+    freq_ghz: np.ndarray,
+    freq_min_ghz: float,
+    freq_max_ghz: np.ndarray,
+    params: PowerModelParams,
+) -> np.ndarray:
+    """Operating voltage for per-package frequency/turbo-limit arrays."""
+    frac = (freq_ghz - freq_min_ghz) / (freq_max_ghz - freq_min_ghz)
+    frac = np.clip(frac, 0.0, 1.0)
+    return params.v_min + (params.v_max - params.v_min) * frac
+
+
+def core_dynamic_power_array(
+    freq_ghz: np.ndarray,
+    freq_min_ghz: float,
+    freq_max_ghz: np.ndarray,
+    active_cores: int,
+    activity_factor: float,
+    params: PowerModelParams,
+    efficiency_multiplier: np.ndarray,
+) -> np.ndarray:
+    """Dynamic power of the active cores for every package (W)."""
+    volt = voltage_at_frequency_array(freq_ghz, freq_min_ghz, freq_max_ghz, params)
+    per_core = params.core_capacitance * activity_factor * volt * volt * freq_ghz
+    return per_core * active_cores * efficiency_multiplier
+
+
+def uncore_power_array(
+    uncore_ghz: np.ndarray,
+    uncore_min_ghz: float,
+    uncore_max_ghz: float,
+    dram_intensity: float,
+    params: PowerModelParams,
+) -> np.ndarray:
+    """Uncore power for per-package uncore frequency arrays (W)."""
+    frac = np.clip((uncore_ghz - uncore_min_ghz) / (uncore_max_ghz - uncore_min_ghz), 0.0, 1.0)
+    utilization = 0.3 + 0.7 * float(np.clip(dram_intensity, 0.0, 1.0))
+    dynamic = (params.uncore_max_power - params.uncore_idle_power) * frac * utilization
+    return params.uncore_idle_power + dynamic
+
+
+def static_power_array(temperature_c: np.ndarray, params: PowerModelParams) -> np.ndarray:
+    """Leakage power for per-package temperature arrays (W)."""
+    delta = temperature_c - params.ref_temperature
+    return params.static_power * np.maximum(0.2, 1.0 + params.leakage_temp_coeff * delta)
+
+
+def package_power_array(
+    demand: PhaseDemand,
+    freq_ghz: np.ndarray,
+    uncore_ghz: np.ndarray,
+    active_cores: int,
+    freq_min_ghz: float,
+    freq_max_ghz: np.ndarray,
+    uncore_min_ghz: float,
+    uncore_max_ghz: float,
+    params: PowerModelParams,
+    efficiency_multiplier: np.ndarray,
+    temperature_c: np.ndarray,
+    leakage_scale: np.ndarray | None = None,
+) -> np.ndarray:
+    """Total package + DRAM power for every package at once (W).
+
+    Matches :func:`package_power` elementwise; when ``leakage_scale`` is
+    given the per-package leakage variation is folded in exactly like
+    :meth:`CpuPackage.power_at` does (base static power plus
+    ``static * (leakage_scale - 1)``).
+    """
+    busy_weight = (
+        demand.core_fraction * 1.0
+        + demand.memory_fraction * 0.55
+        + demand.comm_fraction * 0.35
+        + demand.other_fraction * 0.4
+    )
+    activity = demand.activity_factor * busy_weight
+    p_core = core_dynamic_power_array(
+        freq_ghz,
+        freq_min_ghz,
+        freq_max_ghz,
+        active_cores,
+        activity,
+        params,
+        efficiency_multiplier,
+    )
+    p_uncore = uncore_power_array(
+        uncore_ghz, uncore_min_ghz, uncore_max_ghz, demand.dram_intensity, params
+    )
+    p_static = static_power_array(temperature_c, params)
+    p_dram = dram_power(demand.dram_intensity, params)
+    total = p_core + p_uncore + p_static + p_dram
+    if leakage_scale is not None:
+        total = total + p_static * (leakage_scale - 1.0)
+    return total
 
 
 def phase_duration(

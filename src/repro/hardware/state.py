@@ -1,0 +1,255 @@
+"""Struct-of-arrays state kernel for whole-cluster simulation.
+
+Every mutable per-package and per-node quantity of a simulated machine —
+frequency targets, uncore frequencies, power caps, accumulated energy,
+die temperatures, manufacturing-variation factors, allocation state —
+lives in one :class:`ClusterState` as a numpy array.  The object layer
+(:class:`~repro.hardware.cluster.Cluster`,
+:class:`~repro.hardware.node.Node`,
+:class:`~repro.hardware.cpu.CpuPackage`,
+:class:`~repro.hardware.thermal.ThermalModel`) holds *views* into these
+arrays: scalar accessors keep their historical semantics, while
+whole-cluster operations (total power, total energy, idle power, the
+free/busy partition, power-cap distribution, a batched thermal step)
+become single numpy expressions instead of Python loops over nodes.
+
+The kernel mirrors the array-programming treatment PR 1 applied to
+``ParameterSpace``: the scalar per-object API is a thin shim, the arrays
+are the ground truth, and the two views can never diverge because there
+is only one copy of the data.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware import power_model as pm
+from repro.hardware.workload import PhaseDemand
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.hardware.node import NodeSpec
+
+__all__ = ["IDLE_DEMAND", "ClusterState"]
+
+#: The demand a package presents when nothing is scheduled on it (the same
+#: constants :meth:`CpuPackage.idle_power_w` has always used).
+IDLE_DEMAND = PhaseDemand(
+    name="idle",
+    ref_seconds=1.0,
+    core_fraction=0.0,
+    memory_fraction=0.0,
+    comm_fraction=0.0,
+    activity_factor=0.05,
+    dram_intensity=0.02,
+)
+
+
+class ClusterState:
+    """Columnar backing store for ``n_nodes`` homogeneous nodes.
+
+    Package arrays have shape ``(n_nodes, n_sockets)``; node arrays have
+    shape ``(n_nodes,)``.  A standalone :class:`~repro.hardware.node.Node`
+    or :class:`~repro.hardware.cpu.CpuPackage` owns a one-row state, so
+    the scalar construction path and the cluster path share all code.
+
+    Vectorised whole-cluster operations need the (shared) ``node_spec``;
+    a state created for a bare package may omit it, in which case only
+    the per-cell views are usable.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_sockets: int,
+        n_gpus: int = 0,
+        node_spec: Optional["NodeSpec"] = None,
+    ):
+        if n_nodes < 1 or n_sockets < 1:
+            raise ValueError("n_nodes and n_sockets must be >= 1")
+        if n_gpus < 0:
+            raise ValueError("n_gpus must be >= 0")
+        self.n_nodes = int(n_nodes)
+        self.n_sockets = int(n_sockets)
+        self.n_gpus = int(n_gpus)
+        self.node_spec = node_spec
+
+        shape = (self.n_nodes, self.n_sockets)
+        # -- package knob state (written by CpuPackage setters) ------------
+        self.pkg_freq_target_ghz = np.zeros(shape)
+        self.pkg_uncore_ghz = np.zeros(shape)
+        self.pkg_power_cap_w = np.zeros(shape)
+        self.pkg_max_freq_ghz = np.zeros(shape)
+        # -- package telemetry ---------------------------------------------
+        self.pkg_energy_j = np.zeros(shape)
+        self.pkg_busy_seconds = np.zeros(shape)
+        self.pkg_temperature_c = np.zeros(shape)
+        self.pkg_ambient_offset_c = np.zeros(shape)
+        # -- manufacturing variation (immutable after binding) -------------
+        self.pkg_power_efficiency = np.ones(shape)
+        self.pkg_leakage_scale = np.ones(shape)
+        # -- node-level state ----------------------------------------------
+        #: NaN means "uncapped".
+        self.node_power_cap_w = np.full(self.n_nodes, np.nan)
+        self.node_current_power_w = np.zeros(self.n_nodes)
+        #: Incrementally maintained free mask (True = unallocated), kept in
+        #: sync by Node.allocate()/release() so free/busy partitioning never
+        #: rescans the node list.
+        self.node_free = np.ones(self.n_nodes, dtype=bool)
+
+    # -- shape / partition helpers -----------------------------------------
+    def free_indices(self) -> np.ndarray:
+        """Indices of unallocated nodes, in node-id order."""
+        return np.flatnonzero(self.node_free)
+
+    def busy_indices(self) -> np.ndarray:
+        """Indices of allocated nodes, in node-id order."""
+        return np.flatnonzero(~self.node_free)
+
+    @property
+    def free_count(self) -> int:
+        return int(np.count_nonzero(self.node_free))
+
+    @property
+    def busy_count(self) -> int:
+        return self.n_nodes - self.free_count
+
+    def _require_spec(self) -> "NodeSpec":
+        if self.node_spec is None:
+            raise RuntimeError(
+                "this ClusterState was created without a NodeSpec; "
+                "whole-cluster operations are unavailable"
+            )
+        return self.node_spec
+
+    # -- vectorised power model --------------------------------------------
+    def power_per_package(
+        self,
+        demand: PhaseDemand,
+        active_cores: Optional[int] = None,
+        freq_ghz: Optional[np.ndarray] = None,
+        uncore_ghz: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Package + DRAM power of every package at once (W).
+
+        The vectorised twin of :meth:`CpuPackage.power_at`: the current
+        frequency/uncore targets, per-package turbo limits, variation
+        factors and die temperatures are read straight from the arrays.
+        """
+        spec = self._require_spec()
+        cpu = spec.cpu
+        cores = cpu.cores if active_cores is None else min(int(active_cores), cpu.cores)
+        freq = self.pkg_freq_target_ghz if freq_ghz is None else freq_ghz
+        uncore = self.pkg_uncore_ghz if uncore_ghz is None else uncore_ghz
+        return pm.package_power_array(
+            demand,
+            freq,
+            uncore,
+            cores,
+            cpu.freq_min_ghz,
+            self.pkg_max_freq_ghz,
+            cpu.uncore_min_ghz,
+            cpu.uncore_max_ghz,
+            cpu.params,
+            efficiency_multiplier=self.pkg_power_efficiency,
+            temperature_c=self.pkg_temperature_c,
+            leakage_scale=self.pkg_leakage_scale,
+        )
+
+    def idle_power_per_package(self) -> np.ndarray:
+        """Idle power of every package (W), matching ``CpuPackage.idle_power_w``."""
+        spec = self._require_spec()
+        freq = np.full_like(self.pkg_freq_target_ghz, spec.cpu.freq_min_ghz)
+        return self.power_per_package(IDLE_DEMAND, active_cores=0, freq_ghz=freq)
+
+    def idle_power_per_node(self) -> np.ndarray:
+        """Idle power of every node (W), matching ``Node.idle_power_w``."""
+        spec = self._require_spec()
+        gpu_idle = self.n_gpus * spec.gpu.idle_power_w
+        return self.idle_power_per_package().sum(axis=1) + gpu_idle + spec.platform_power_w
+
+    # -- vectorised accounting ---------------------------------------------
+    def total_tdp_w(self) -> float:
+        """Sum of nominal node maximum power (the procured-power default)."""
+        return float(self.n_nodes * self._require_spec().tdp_w)
+
+    def total_idle_power_w(self) -> float:
+        return float(self.idle_power_per_node().sum())
+
+    def instantaneous_power_w(self, include_idle: bool = True) -> float:
+        """System power: busy nodes at their draw, idle nodes at idle power."""
+        if include_idle:
+            idle = self.idle_power_per_node()
+        else:
+            idle = 0.0
+        return float(np.where(self.node_free, idle, self.node_current_power_w).sum())
+
+    def total_energy_j(self) -> float:
+        """Energy consumed by all packages so far (J).  GPUs are tracked by
+        their device objects and added by the cluster layer when present."""
+        return float(self.pkg_energy_j.sum())
+
+    # -- batched thermal step ----------------------------------------------
+    def advance_thermal(self, pkg_power_w: np.ndarray, dt_s: float) -> np.ndarray:
+        """Advance every package's RC thermal model ``dt_s`` seconds at once.
+
+        The vectorised twin of :meth:`ThermalModel.advance`: temperature
+        relaxes toward ``ambient + R * power`` with the shared time
+        constant.  Returns the updated temperature array (a view).
+        """
+        if dt_s < 0:
+            raise ValueError("dt must be >= 0")
+        spec = self._require_spec().thermal
+        pkg_power_w = np.asarray(pkg_power_w, dtype=float)
+        if np.any(pkg_power_w < 0):
+            raise ValueError("power must be >= 0")
+        target = (
+            spec.ambient_c
+            + self.pkg_ambient_offset_c
+            + spec.resistance_k_per_w * pkg_power_w
+        )
+        alpha = 1.0 - np.exp(-dt_s / spec.time_constant_s)
+        self.pkg_temperature_c += (target - self.pkg_temperature_c) * alpha
+        return self.pkg_temperature_c
+
+    # -- vectorised power-cap distribution ---------------------------------
+    def set_node_power_caps(self, caps_w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply per-node power caps in one shot (NaN entries uncap).
+
+        Replicates :meth:`Node.set_power_cap` arithmetic as numpy
+        expressions: the cap is floored at the node minimum, the platform
+        share subtracted, and the remainder split between the CPU packages
+        and GPUs in proportion to their TDPs.  Package cap cells are
+        written directly; the per-node RAPL/GPU device objects are the
+        caller's to update (they are plain Python objects).
+
+        Returns ``(applied_node_caps, cpu_share)`` — the enforced node cap
+        (NaN where uncapped) and the node-level package budget the RAPL
+        interface should advertise.
+        """
+        spec = self._require_spec()
+        caps_w = np.asarray(caps_w, dtype=float)
+        if caps_w.shape != (self.n_nodes,):
+            raise ValueError(f"caps must have shape ({self.n_nodes},), got {caps_w.shape}")
+        cpu = spec.cpu
+        uncapped = np.isnan(caps_w)
+
+        applied = np.maximum(caps_w, spec.min_power_w)
+        budget = applied - spec.platform_power_w
+        gpu_tdp = self.n_gpus * spec.gpu.max_power_w
+        cpu_tdp = self.n_sockets * cpu.tdp_w
+        total_tdp = gpu_tdp + cpu_tdp
+        cpu_share = budget * (cpu_tdp / total_tdp) if total_tdp > 0 else budget
+        per_pkg = np.clip(cpu_share / self.n_sockets, cpu.min_power_cap_w, cpu.tdp_w)
+
+        # Uncapped nodes: packages fall back to their TDP default.
+        self.pkg_power_cap_w[:] = np.where(uncapped[:, None], cpu.tdp_w, per_pkg[:, None])
+        self.node_power_cap_w[:] = np.where(uncapped, np.nan, applied)
+        return np.where(uncapped, np.nan, applied), cpu_share
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterState(n_nodes={self.n_nodes}, n_sockets={self.n_sockets}, "
+            f"n_gpus={self.n_gpus}, free={self.free_count})"
+        )

@@ -5,11 +5,19 @@ selection ("thermal hot spots", §2.1 and §3.1.1) need die temperatures
 that respond to power over time.  A single-pole RC model is sufficient to
 reproduce the qualitative behaviour: temperature rises toward
 ``ambient + R * power`` with time constant ``R * C``.
+
+The model's mutable state (die temperature, per-node ambient offset) can
+be *bound* to cells of a :class:`~repro.hardware.state.ClusterState`, so
+a whole cluster's temperatures live in one array and advance in a single
+vectorised step (:meth:`ClusterState.advance_thermal`) while this class
+keeps providing the per-package scalar view.  Standalone models own a
+private one-element backing array and behave exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -43,13 +51,43 @@ class ThermalSpec:
 
 
 class ThermalModel:
-    """Tracks the die temperature of one package."""
+    """Tracks the die temperature of one package.
 
-    def __init__(self, spec: ThermalSpec | None = None, ambient_offset_c: float = 0.0):
+    ``temps``/``offsets``/``index`` bind the model to shared state arrays
+    (the cluster kernel passes slices of ``pkg_temperature_c`` /
+    ``pkg_ambient_offset_c``); when omitted the model allocates its own
+    one-element arrays.
+    """
+
+    def __init__(
+        self,
+        spec: ThermalSpec | None = None,
+        ambient_offset_c: float = 0.0,
+        temps: Optional[np.ndarray] = None,
+        offsets: Optional[np.ndarray] = None,
+        index: Optional[Tuple[int, int]] = None,
+    ):
         self.spec = spec or ThermalSpec()
-        #: Per-node ambient offset (models rack/row hot spots).
-        self.ambient_offset_c = float(ambient_offset_c)
-        self._temperature_c = self.ambient_c
+        if temps is None:
+            temps = np.zeros((1, 1))
+            offsets = np.zeros((1, 1))
+            index = (0, 0)
+        if offsets is None or index is None:
+            raise ValueError("temps, offsets and index must be given together")
+        self._temps = temps
+        self._offsets = offsets
+        self._index = index
+        self._offsets[self._index] = float(ambient_offset_c)
+        self._temps[self._index] = self.ambient_c
+
+    @property
+    def ambient_offset_c(self) -> float:
+        """Per-node ambient offset (models rack/row hot spots)."""
+        return float(self._offsets[self._index])
+
+    @ambient_offset_c.setter
+    def ambient_offset_c(self, value: float) -> None:
+        self._offsets[self._index] = float(value)
 
     @property
     def ambient_c(self) -> float:
@@ -58,7 +96,7 @@ class ThermalModel:
     @property
     def temperature_c(self) -> float:
         """Current die temperature (degC)."""
-        return self._temperature_c
+        return float(self._temps[self._index])
 
     def steady_state_c(self, power_w: float) -> float:
         """Temperature the die would settle at under constant power."""
@@ -75,17 +113,19 @@ class ThermalModel:
         target = self.steady_state_c(power_w)
         tau = self.spec.time_constant_s
         alpha = 1.0 - float(np.exp(-dt_s / tau))
-        self._temperature_c += (target - self._temperature_c) * alpha
-        return self._temperature_c
+        self._temps[self._index] += (target - float(self._temps[self._index])) * alpha
+        return float(self._temps[self._index])
 
     def is_throttling(self) -> bool:
         """True when the die is above the throttle trip point."""
-        return self._temperature_c >= self.spec.throttle_temp_c
+        return self.temperature_c >= self.spec.throttle_temp_c
 
     def headroom_c(self) -> float:
         """Degrees of margin below the throttle temperature."""
-        return self.spec.throttle_temp_c - self._temperature_c
+        return self.spec.throttle_temp_c - self.temperature_c
 
     def reset(self, temperature_c: float | None = None) -> None:
         """Reset the die temperature (defaults to ambient)."""
-        self._temperature_c = self.ambient_c if temperature_c is None else float(temperature_c)
+        self._temps[self._index] = (
+            self.ambient_c if temperature_c is None else float(temperature_c)
+        )

@@ -99,6 +99,34 @@ class VariationModel:
             raise ValueError("count must be >= 0")
         return [self.draw(rng) for _ in range(count)]
 
+    def draw_array(
+        self, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw variation for ``count`` packages as arrays, in one shot.
+
+        Returns ``(power_efficiency, max_turbo_scale, leakage_scale)``.
+        Consumes the random stream in exactly the per-draw order of
+        :meth:`draw` (one ``(count, 3)`` normal block fills row-major), so
+        the arrays are bit-identical to a :meth:`draw_many` call with the
+        same generator state — seeded clusters stay reproducible across
+        the scalar and vectorised construction paths.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        z = rng.standard_normal((count, 3))
+        z_power = z[:, 0]
+        z_leak = self.correlation * z_power + np.sqrt(
+            max(0.0, 1.0 - self.correlation**2)
+        ) * z[:, 1]
+        z_turbo = z[:, 2]
+
+        power_eff = np.clip(1.0 + self.power_sigma * z_power, 0.7, 1.4)
+        leakage = np.clip(1.0 + self.leakage_sigma * z_leak, 0.5, 1.8)
+        turbo = np.clip(
+            1.0 + self.turbo_sigma * z_turbo - 0.02 * (power_eff - 1.0), 0.85, 1.1
+        )
+        return power_eff, turbo, leakage
+
     @staticmethod
     def nominal() -> VariationDraw:
         """A draw with no variation (for deterministic unit tests)."""

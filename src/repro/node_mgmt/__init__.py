@@ -9,6 +9,9 @@ implements that layer for the simulated hardware:
   governors (performance, powersave, ondemand-like adaptive, fixed).
 * :class:`~repro.node_mgmt.powercap.NodePowerCapManager` — enforces a
   node power cap through RAPL and reports headroom.
+* :class:`~repro.node_mgmt.powercap.ClusterPowerCapManager` — splits a
+  system power budget into per-node caps with one vectorised
+  waterfilling pass over the cluster state.
 * :class:`~repro.node_mgmt.dutycycle.DutyCycleModulator` — T-state style
   duty-cycle modulation used when even the lowest P-state is too hot.
 * :class:`~repro.node_mgmt.monitor.NodeMonitor` — the node daemon that
@@ -18,13 +21,19 @@ implements that layer for the simulated hardware:
 from repro.node_mgmt.dutycycle import DutyCycleModulator
 from repro.node_mgmt.dvfs import DvfsGovernor, GovernorPolicy
 from repro.node_mgmt.monitor import NodeMonitor, NodeSample
-from repro.node_mgmt.powercap import NodePowerCapManager
+from repro.node_mgmt.powercap import (
+    ClusterPowerCapManager,
+    NodePowerCapManager,
+    distribute_power_budget,
+)
 
 __all__ = [
+    "ClusterPowerCapManager",
     "DutyCycleModulator",
     "DvfsGovernor",
     "GovernorPolicy",
     "NodeMonitor",
     "NodePowerCapManager",
     "NodeSample",
+    "distribute_power_budget",
 ]

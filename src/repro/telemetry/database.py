@@ -6,16 +6,21 @@ find the best configuration.  The same store also backs the paper's
 "job-specific policies" GEOPM mode (§3.2.2), where a site keeps a database
 mapping applications to historically good policy parameters.
 
-``add()`` maintains running best/worst records so ``best()`` answers in
-O(1) — the batched tuning loop consults it after every batch, and a full
-scan per call turns quadratic over a long run.
+Storage is columnar: alongside the record objects, ``add()`` appends the
+objective / elapsed / feasibility scalars into growable numpy arrays and
+indexes the record's tags, so the analytical queries — ``top_k``,
+``best_so_far`` convergence curves, range filters, aggregates, tag
+lookups — run as vectorised array expressions instead of Python scans.
+``best()`` stays O(1) via running best records.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 __all__ = ["EvaluationRecord", "PerformanceDatabase"]
 
@@ -53,12 +58,50 @@ class EvaluationRecord:
         )
 
 
+class _ColumnStore:
+    """Growable struct-of-arrays for the scalar columns of the database."""
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self) -> None:
+        self.size = 0
+        self._objective = np.empty(self._INITIAL_CAPACITY)
+        self._elapsed_s = np.empty(self._INITIAL_CAPACITY)
+        self._feasible = np.empty(self._INITIAL_CAPACITY, dtype=bool)
+
+    def append(self, objective: float, elapsed_s: float, feasible: bool) -> None:
+        if self.size == self._objective.shape[0]:
+            new_capacity = self.size * 2
+            self._objective = np.resize(self._objective, new_capacity)
+            self._elapsed_s = np.resize(self._elapsed_s, new_capacity)
+            self._feasible = np.resize(self._feasible, new_capacity)
+        self._objective[self.size] = objective
+        self._elapsed_s[self.size] = elapsed_s
+        self._feasible[self.size] = feasible
+        self.size += 1
+
+    @property
+    def objective(self) -> np.ndarray:
+        return self._objective[: self.size]
+
+    @property
+    def elapsed_s(self) -> np.ndarray:
+        return self._elapsed_s[: self.size]
+
+    @property
+    def feasible(self) -> np.ndarray:
+        return self._feasible[: self.size]
+
+
 class PerformanceDatabase:
     """An append-only store of :class:`EvaluationRecord` objects."""
 
     def __init__(self, name: str = "default"):
         self.name = name
         self._records: List[EvaluationRecord] = []
+        self._columns = _ColumnStore()
+        #: Inverted index: (tag key, tag value) -> ascending record indices.
+        self._tag_index: Dict[Tuple[str, str], List[int]] = {}
         # Running best/worst records maintained by add() so best() is O(1)
         # instead of a full scan — the tuning loop consults it per batch.
         # Strict comparisons keep min()/max() first-wins tie-breaking.
@@ -68,7 +111,11 @@ class PerformanceDatabase:
         self._max_feasible: Optional[EvaluationRecord] = None
 
     def add(self, record: EvaluationRecord) -> None:
+        index = len(self._records)
         self._records.append(record)
+        self._columns.append(record.objective, record.elapsed_s, record.feasible)
+        for key, value in record.tags.items():
+            self._tag_index.setdefault((key, str(value)), []).append(index)
         if self._min_all is None or record.objective < self._min_all.objective:
             self._min_all = record
         if self._max_all is None or record.objective > self._max_all.objective:
@@ -107,8 +154,21 @@ class PerformanceDatabase:
 
     def records(self, feasible_only: bool = False) -> List[EvaluationRecord]:
         if feasible_only:
-            return [r for r in self._records if r.feasible]
+            return [self._records[i] for i in np.flatnonzero(self._columns.feasible)]
         return list(self._records)
+
+    # -- columnar views ------------------------------------------------------
+    def objectives_array(self) -> np.ndarray:
+        """Objective column as a numpy array (a view; do not mutate)."""
+        return self._columns.objective
+
+    def feasible_array(self) -> np.ndarray:
+        """Feasibility column as a boolean numpy array (a view)."""
+        return self._columns.feasible
+
+    def elapsed_array(self) -> np.ndarray:
+        """Elapsed-seconds column as a numpy array (a view)."""
+        return self._columns.elapsed_s
 
     def best(
         self, minimize: bool = True, feasible_only: bool = True
@@ -126,8 +186,11 @@ class PerformanceDatabase:
         return self._min_all if minimize else self._max_all
 
     def top_k(self, k: int, minimize: bool = True) -> List[EvaluationRecord]:
-        pool = sorted(self.records(), key=lambda r: r.objective, reverse=not minimize)
-        return pool[: max(0, k)]
+        """The ``k`` best records, stable on ties (insertion order)."""
+        objectives = self._columns.objective
+        key = objectives if minimize else -objectives
+        order = np.argsort(key, kind="stable")[: max(0, k)]
+        return [self._records[i] for i in order]
 
     def filter(self, predicate: Callable[[EvaluationRecord], bool]) -> "PerformanceDatabase":
         out = PerformanceDatabase(self.name)
@@ -136,42 +199,112 @@ class PerformanceDatabase:
                 out.add(record)
         return out
 
+    def where(
+        self,
+        feasible: Optional[bool] = None,
+        min_objective: Optional[float] = None,
+        max_objective: Optional[float] = None,
+        **tag_filters: str,
+    ) -> List[EvaluationRecord]:
+        """Vectorised record selection on the scalar columns and tag index.
+
+        Combines a feasibility filter, an objective range and exact tag
+        matches; the column comparisons are single array expressions and
+        the tag filters are index intersections, so no record object is
+        touched until the matching rows are materialised.
+        """
+        mask = np.ones(len(self._records), dtype=bool)
+        if feasible is not None:
+            mask &= self._columns.feasible == feasible
+        if min_objective is not None:
+            mask &= self._columns.objective >= min_objective
+        if max_objective is not None:
+            mask &= self._columns.objective <= max_objective
+        if tag_filters:
+            indices = self._tag_indices(tag_filters)
+            tag_mask = np.zeros(len(self._records), dtype=bool)
+            tag_mask[indices] = True
+            mask &= tag_mask
+        return [self._records[i] for i in np.flatnonzero(mask)]
+
+    def aggregate(self, feasible_only: bool = False) -> Dict[str, float]:
+        """Vectorised summary statistics of the objective column."""
+        objectives = self._columns.objective
+        if feasible_only:
+            objectives = objectives[self._columns.feasible]
+        if objectives.size == 0:
+            return {"count": 0.0}
+        return {
+            "count": float(objectives.size),
+            "min": float(objectives.min()),
+            "max": float(objectives.max()),
+            "mean": float(objectives.mean()),
+            "std": float(objectives.std()),
+            "median": float(np.median(objectives)),
+        }
+
     def objectives(self) -> List[float]:
-        return [r.objective for r in self._records]
+        return self._columns.objective.tolist()
 
     def best_so_far(self, minimize: bool = True) -> List[float]:
-        """Convergence curve: running best objective after each evaluation."""
-        curve: List[float] = []
-        best: Optional[float] = None
-        for record in self._records:
-            if not record.feasible:
-                if best is not None:
-                    curve.append(best)
-                    continue
-            value = record.objective
-            if best is None:
-                best = value
-            else:
-                best = min(best, value) if minimize else max(best, value)
-            curve.append(best)
-        return curve
+        """Convergence curve: running best objective after each evaluation.
+
+        Vectorised: infeasible records (beyond the first record, which
+        historically seeds the curve) are masked to ±inf so a single
+        ``minimum.accumulate`` / ``maximum.accumulate`` reproduces the
+        sequential carry-forward loop exactly.
+        """
+        if not self._records:
+            return []
+        values = self._columns.objective.copy()
+        masked = ~self._columns.feasible
+        masked[0] = False
+        if minimize:
+            values[masked] = np.inf
+            curve = np.minimum.accumulate(values)
+        else:
+            values[masked] = -np.inf
+            curve = np.maximum.accumulate(values)
+        return curve.tolist()
 
     # -- lookup of historically good configurations ------------------------
+    def _tag_indices(self, tag_filters: Mapping[str, str]) -> np.ndarray:
+        """Ascending record indices matching all tag filters (via the index)."""
+        pools: List[np.ndarray] = []
+        for key, value in tag_filters.items():
+            hits = self._tag_index.get((key, str(value)))
+            if not hits:
+                return np.empty(0, dtype=int)
+            pools.append(np.asarray(hits))
+        pools.sort(key=len)
+        result = pools[0]
+        for pool in pools[1:]:
+            result = np.intersect1d(result, pool, assume_unique=True)
+            if result.size == 0:
+                break
+        return result
+
     def lookup(self, **tag_filters: str) -> List[EvaluationRecord]:
-        """Records whose tags match all the given key/value pairs."""
-        out = []
-        for record in self._records:
-            if all(record.tags.get(k) == v for k, v in tag_filters.items()):
-                out.append(record)
-        return out
+        """Records whose tags match all the given key/value pairs.
+
+        Served from the inverted tag index (intersection of posting
+        lists) rather than a scan; results keep insertion order.
+        """
+        if not tag_filters:
+            return list(self._records)
+        return [self._records[i] for i in self._tag_indices(tag_filters)]
 
     def best_for(self, minimize: bool = True, **tag_filters: str) -> Optional[EvaluationRecord]:
-        pool = self.lookup(**tag_filters)
-        if not pool:
-            return None
-        return min(pool, key=lambda r: r.objective) if minimize else max(
-            pool, key=lambda r: r.objective
+        indices = (
+            np.arange(len(self._records))
+            if not tag_filters
+            else self._tag_indices(tag_filters)
         )
+        if indices.size == 0:
+            return None
+        pool = self._columns.objective[indices]
+        winner = indices[np.argmin(pool) if minimize else np.argmax(pool)]
+        return self._records[winner]
 
     # -- persistence ----------------------------------------------------------
     def to_json(self) -> str:

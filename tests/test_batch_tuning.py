@@ -25,6 +25,7 @@ from repro.core.tuner import (
     Autotuner,
     BatchAutotuner,
     EvaluationCache,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     make_executor,
@@ -224,6 +225,76 @@ def test_batch_autotuner_threadpool_matches_serial():
     assert serial.best_config == threaded.best_config
 
 
+def test_batch_autotuner_processpool_matches_serial():
+    serial = BatchAutotuner(
+        make_space(), evaluator, search="random", max_evals=60, seed=4,
+        batch_size=12, executor="serial", cache_evaluations=False,
+    ).run()
+    tuner = BatchAutotuner(
+        make_space(), evaluator, search="random", max_evals=60, seed=4,
+        batch_size=12, executor="process", max_workers=2, cache_evaluations=False,
+    )
+    pooled = tuner.run()
+    tuner.close()
+    assert [r.to_dict() for r in serial.database] == [r.to_dict() for r in pooled.database]
+    assert serial.best_config == pooled.best_config
+
+
+def _failing_evaluator(config):
+    if config["algo"] == "c":
+        raise RuntimeError("deterministic failure")
+    return evaluator(config)
+
+
+def test_processpool_converts_worker_exceptions_to_failures():
+    tuner = BatchAutotuner(
+        make_space(), _failing_evaluator, search="random", max_evals=40, seed=7,
+        batch_size=8, executor="process", max_workers=2,
+    )
+    result = tuner.run()
+    tuner.close()
+    assert result.failed_evaluations > 0
+    failed = [r for r in result.database if "error" in r.metrics]
+    assert all(r.config["algo"] == "c" for r in failed)
+    assert all(not r.feasible for r in failed)
+    # The run still finds a best among the successful configurations.
+    assert result.best_config is not None and result.best_config["algo"] != "c"
+
+
+def test_processpool_rejects_unpicklable_evaluator():
+    with pytest.raises(TypeError):
+        BatchAutotuner(
+            make_space(),
+            lambda config: {"runtime_s": 1.0},
+            search="random",
+            max_evals=4,
+            executor="process",
+        )
+
+
+def test_cotuner_process_executor_passthrough():
+    rt_space = ParameterSpace.from_dict({"cap": [100, 200, 300]}, layer="runtime")
+    cotuner = CoTuner(
+        {"runtime": rt_space},
+        _layered_cap_evaluator,
+        objective="runtime",
+        search="grid",
+        max_evals=3,
+        batch_size=3,
+        executor="process",
+        max_workers=2,
+    )
+    assert isinstance(cotuner._autotuner, BatchAutotuner)
+    result = cotuner.run()
+    cotuner.close()
+    assert result.best_by_layer["runtime"]["cap"] == 300
+
+
+def _layered_cap_evaluator(nested):
+    cap = nested["runtime"]["cap"]
+    return {"runtime_s": 10.0 - cap / 100.0, "power_w": float(cap)}
+
+
 def test_batch_autotuner_constraint_rejections_do_not_evaluate():
     space = make_space()
     space.add_constraint(
@@ -255,6 +326,7 @@ def test_batch_autotuner_constraint_rejections_do_not_evaluate():
 def test_make_executor_specs():
     assert isinstance(make_executor("serial"), SerialExecutor)
     assert isinstance(make_executor("thread"), ThreadedExecutor)
+    assert isinstance(make_executor("process"), ProcessExecutor)
     custom = SerialExecutor()
     assert make_executor(custom) is custom
     with pytest.raises(ValueError):

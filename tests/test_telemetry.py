@@ -218,3 +218,104 @@ def test_property_best_so_far_never_increases(objectives):
     curve = db.best_so_far()
     assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
     assert curve[-1] == pytest.approx(min(objectives))
+
+
+# -- columnar storage & vectorised queries -------------------------------------
+
+
+def _seeded_db(n=50, seed=0):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    db = PerformanceDatabase("columnar")
+    for i in range(n):
+        db.add_evaluation(
+            {"i": i},
+            {"runtime_s": float(i)},
+            objective=float(rng.uniform(0.0, 100.0)),
+            elapsed_s=float(i),
+            feasible=bool(rng.random() < 0.8),
+            app="a" if i % 2 == 0 else "b",
+            phase=str(i % 3),
+        )
+    return db
+
+
+def test_columnar_views_match_records():
+    db = _seeded_db()
+    assert db.objectives_array().tolist() == [r.objective for r in db]
+    assert db.feasible_array().tolist() == [r.feasible for r in db]
+    assert db.elapsed_array().tolist() == [r.elapsed_s for r in db]
+    assert db.objectives() == [r.objective for r in db]
+
+
+def test_best_so_far_matches_sequential_reference():
+    db = _seeded_db(seed=3)
+
+    def reference(minimize):
+        curve, best = [], None
+        for record in db:
+            if not record.feasible:
+                if best is not None:
+                    curve.append(best)
+                    continue
+            value = record.objective
+            if best is None:
+                best = value
+            else:
+                best = min(best, value) if minimize else max(best, value)
+            curve.append(best)
+        return curve
+
+    assert db.best_so_far(minimize=True) == reference(True)
+    assert db.best_so_far(minimize=False) == reference(False)
+
+
+def test_top_k_stable_ties():
+    db = PerformanceDatabase()
+    for i, value in enumerate([3.0, 1.0, 1.0, 2.0]):
+        db.add_evaluation({"i": i}, {}, objective=value)
+    top = db.top_k(3)
+    assert [r.config["i"] for r in top] == [1, 2, 3]
+    top_max = db.top_k(2, minimize=False)
+    assert [r.config["i"] for r in top_max] == [0, 3]
+
+
+def test_indexed_lookup_matches_scan():
+    db = _seeded_db(seed=5)
+    for app in ("a", "b"):
+        for phase in ("0", "1", "2"):
+            indexed = db.lookup(app=app, phase=phase)
+            scanned = [
+                r for r in db
+                if r.tags.get("app") == app and r.tags.get("phase") == phase
+            ]
+            assert indexed == scanned
+    assert db.lookup(app="missing") == []
+    best = db.best_for(app="a")
+    pool = db.lookup(app="a")
+    assert best is min(pool, key=lambda r: r.objective)
+
+
+def test_where_combines_columns_and_tags():
+    db = _seeded_db(seed=7)
+    rows = db.where(feasible=True, max_objective=50.0, app="a")
+    expected = [
+        r for r in db
+        if r.feasible and r.objective <= 50.0 and r.tags.get("app") == "a"
+    ]
+    assert rows == expected
+
+
+def test_aggregate_stats():
+    import numpy as np
+
+    db = _seeded_db(seed=9)
+    stats = db.aggregate()
+    objectives = [r.objective for r in db]
+    assert stats["count"] == len(objectives)
+    assert stats["min"] == pytest.approx(min(objectives))
+    assert stats["mean"] == pytest.approx(np.mean(objectives))
+    feasible = [r.objective for r in db if r.feasible]
+    assert db.aggregate(feasible_only=True)["count"] == len(feasible)
+    assert PerformanceDatabase().aggregate() == {"count": 0.0}

@@ -29,6 +29,7 @@ PERF_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", 
 PERF_GUARDED_KEYS = {
     "tuning_throughput": ("speedup",),
     "cluster_scale": ("speedup_power_energy",),
+    "scheduler_scale": ("speedup",),
 }
 PERF_REGRESSION_TOLERANCE = 0.20
 

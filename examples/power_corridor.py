@@ -12,7 +12,27 @@ Run with:  python examples/power_corridor.py
 
 from repro.analysis.reporting import ascii_timeseries, format_table
 from repro.core.usecases.uc5_irm_epop import make_malleable_workload, run_strategy
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.node_mgmt.powercap import ClusterPowerCapManager
 from repro.resource_manager.irm import CorridorStrategy
+
+
+def show_corridor_cap_split(upper_w: float, n_nodes: int = 12) -> None:
+    """Waterfill the corridor's upper bound into per-node caps (one pass).
+
+    The same vectorised kernels the corridor strategies now run on —
+    ``distribute_power_budget`` + ``Cluster.apply_power_caps`` — shown
+    standalone: what each node may draw if the site pins the system at
+    the corridor ceiling.
+    """
+    cluster = Cluster(ClusterSpec(n_nodes=n_nodes), seed=6)
+    manager = ClusterPowerCapManager(cluster)
+    caps = manager.set_system_budget(upper_w)
+    print(
+        f"corridor ceiling {upper_w:.0f} W waterfilled over {n_nodes} nodes: "
+        f"caps [{caps.min():.0f}, {caps.max():.0f}] W/node, "
+        f"total {manager.total_cap_w():.0f} W"
+    )
 
 
 def main() -> None:
@@ -24,6 +44,7 @@ def main() -> None:
     idle, peak = min(powers), max(powers)
     corridor = (idle + 0.35 * (peak - idle), idle + 0.8 * (peak - idle))
     print(f"derived corridor: [{corridor[0]:.0f} W, {corridor[1]:.0f} W]\n")
+    show_corridor_cap_split(corridor[1])
 
     rows = []
     traces = {}

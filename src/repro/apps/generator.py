@@ -151,6 +151,12 @@ class WorkloadGenerator:
             params = {}
             nodes = int(rng.choice([1, 2, 4, 8]))
         nodes = min(nodes, self.max_nodes_per_job)
+        # Capping the node count must not break the application's rank
+        # constraint (e.g. LULESH needs cubic rank counts): fall back to
+        # the largest constraint-satisfying count, so the generator never
+        # emits a job that no scheduler could ever start.
+        while nodes > 1 and not app.rank_constraint(nodes):
+            nodes -= 1
         return app, params, nodes
 
     def _pick_kind(self, rng) -> str:

@@ -124,6 +124,25 @@ class Cluster:
         """Allocated nodes in node-id order (from the incremental mask)."""
         return [self.nodes[i] for i in self.state.busy_indices()]
 
+    # -- array twins of the node-selection API (scheduler hot path) ---------
+    def free_node_indices(self) -> np.ndarray:
+        """Indices of unallocated nodes without materializing ``Node`` lists."""
+        return self.state.free_indices()
+
+    def rank_free_by_efficiency(self) -> np.ndarray:
+        """Free-node indices best-part-first: the array twin of
+        :meth:`rank_nodes_by_efficiency` restricted to free nodes — one
+        masked stable argsort over the cached variation column."""
+        return self.state.rank_free_by_efficiency()
+
+    def rank_free_by_temperature(self) -> np.ndarray:
+        """Free-node indices coolest-first (thermal-aware selection twin)."""
+        return self.state.rank_free_by_temperature()
+
+    def nodes_at(self, indices) -> List[Node]:
+        """Materialize ``Node`` objects for an index array (launch only)."""
+        return [self.nodes[int(i)] for i in indices]
+
     # -- power accounting -----------------------------------------------------
     @property
     def system_power_budget_w(self) -> float:
@@ -207,9 +226,15 @@ class Cluster:
         node caps (NaN where uncapped).
         """
         caps = np.asarray(per_node_watts, dtype=float)
+        previous = self.state.node_power_cap_w.copy()
         applied, cpu_share = self.state.set_node_power_caps(caps)
         has_gpus = self.spec.node.n_gpus > 0
-        for i, node in enumerate(self.nodes):
+        # Only nodes whose node-level cap actually changed need their
+        # Python-side RAPL/GPU bookkeeping touched — a corridor tick that
+        # re-caps a handful of jobs stays O(changed) in Python.
+        changed = ~((applied == previous) | (np.isnan(applied) & np.isnan(previous)))
+        for i in np.flatnonzero(changed):
+            node = self.nodes[i]
             if np.isnan(applied[i]):
                 node.rapl.clear_all_limits()
                 if has_gpus:

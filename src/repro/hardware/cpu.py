@@ -169,6 +169,7 @@ class CpuPackage:
         state.pkg_power_cap_w[index] = self.spec.tdp_w
         state.pkg_power_efficiency[index] = self.variation.power_efficiency
         state.pkg_leakage_scale[index] = self.variation.leakage_scale
+        state.invalidate_efficiency_cache()
         state.pkg_energy_j[index] = 0.0
         state.pkg_busy_seconds[index] = 0.0
 

@@ -97,6 +97,13 @@ class ClusterState:
         #: sync by Node.allocate()/release() so free/busy partitioning never
         #: rescans the node list.
         self.node_free = np.ones(self.n_nodes, dtype=bool)
+        # -- lazily built ranking/scheduling caches -------------------------
+        #: Per-node mean manufacturing power-efficiency factor (lower is a
+        #: better part).  Variation is immutable once the packages have
+        #: bound their cells, so this is computed once and reused by every
+        #: scheduling pass; CpuPackage binding invalidates it.
+        self._node_efficiency_key: Optional[np.ndarray] = None
+        self._pstate_freqs_asc: Optional[np.ndarray] = None
 
     # -- shape / partition helpers -----------------------------------------
     def free_indices(self) -> np.ndarray:
@@ -106,6 +113,34 @@ class ClusterState:
     def busy_indices(self) -> np.ndarray:
         """Indices of allocated nodes, in node-id order."""
         return np.flatnonzero(~self.node_free)
+
+    # -- vectorised node ranking (scheduler hot path) -----------------------
+    def invalidate_efficiency_cache(self) -> None:
+        """Drop the cached per-node efficiency key (package (re)binding)."""
+        self._node_efficiency_key = None
+
+    def node_efficiency_key(self) -> np.ndarray:
+        """Per-node ranking key for power-aware selection (lower = better).
+
+        The mean of the node's package power-efficiency multipliers — the
+        same key :meth:`Cluster.rank_nodes_by_efficiency` sorts scalar
+        ``Node`` objects by, precomputed once for the whole machine.
+        """
+        if self._node_efficiency_key is None:
+            self._node_efficiency_key = self.pkg_power_efficiency.mean(axis=1)
+        return self._node_efficiency_key
+
+    def rank_free_by_efficiency(self) -> np.ndarray:
+        """Free-node indices ordered best-part-first (stable in node id)."""
+        free = self.free_indices()
+        key = self.node_efficiency_key()
+        return free[np.argsort(key[free], kind="stable")]
+
+    def rank_free_by_temperature(self) -> np.ndarray:
+        """Free-node indices ordered coolest-first (stable in node id)."""
+        free = self.free_indices()
+        hottest = self.pkg_temperature_c.max(axis=1)
+        return free[np.argsort(hottest[free], kind="stable")]
 
     @property
     def free_count(self) -> int:
@@ -212,6 +247,68 @@ class ClusterState:
         alpha = 1.0 - np.exp(-dt_s / spec.time_constant_s)
         self.pkg_temperature_c += (target - self.pkg_temperature_c) * alpha
         return self.pkg_temperature_c
+
+    # -- vectorised DVFS ----------------------------------------------------
+    def _pstate_table(self) -> np.ndarray:
+        """Ascending P-state frequencies of the (shared) CPU SKU."""
+        if self._pstate_freqs_asc is None:
+            spec = self._require_spec()
+            freqs = np.array(sorted(p.frequency_ghz for p in spec.cpu.pstates()))
+            freqs.setflags(write=False)
+            self._pstate_freqs_asc = freqs
+        return self._pstate_freqs_asc
+
+    def set_node_frequencies(
+        self, freq_ghz, node_indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Set the core-frequency target of whole nodes in one pass.
+
+        The vectorised twin of :meth:`Node.set_frequency`: each request is
+        clamped into ``[freq_min, that package's turbo limit]`` and floored
+        to the nearest supported P-state, per package.  ``freq_ghz`` is a
+        scalar or a per-node vector; ``node_indices`` restricts the write
+        (default: every node).  Returns the granted per-package
+        frequencies for the touched nodes.
+        """
+        spec = self._require_spec()
+        if node_indices is None:
+            node_indices = np.arange(self.n_nodes)
+        node_indices = np.asarray(node_indices, dtype=int)
+        requested = np.broadcast_to(
+            np.asarray(freq_ghz, dtype=float).reshape(-1, 1) if np.ndim(freq_ghz) else float(freq_ghz),
+            (node_indices.size, self.n_sockets),
+        )
+        clamped = np.clip(
+            requested, spec.cpu.freq_min_ghz, self.pkg_max_freq_ghz[node_indices]
+        )
+        table = self._pstate_table()
+        # Highest P-state frequency <= clamp (+eps); below the lowest
+        # P-state falls back to the lowest, matching CpuPackage.
+        pos = np.searchsorted(table, clamped + 1e-9, side="right") - 1
+        granted = table[np.maximum(pos, 0)]
+        self.pkg_freq_target_ghz[node_indices] = granted
+        return granted
+
+    def set_node_uncore_frequencies(
+        self, uncore_ghz, node_indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Vectorised twin of :meth:`Node.set_uncore_frequency` (a clip)."""
+        spec = self._require_spec()
+        if node_indices is None:
+            node_indices = np.arange(self.n_nodes)
+        node_indices = np.asarray(node_indices, dtype=int)
+        granted = np.broadcast_to(
+            np.clip(
+                np.asarray(uncore_ghz, dtype=float),
+                spec.cpu.uncore_min_ghz,
+                spec.cpu.uncore_max_ghz,
+            ).reshape(-1, 1) if np.ndim(uncore_ghz) else float(
+                np.clip(uncore_ghz, spec.cpu.uncore_min_ghz, spec.cpu.uncore_max_ghz)
+            ),
+            (node_indices.size, self.n_sockets),
+        )
+        self.pkg_uncore_ghz[node_indices] = granted
+        return granted
 
     # -- vectorised power-cap distribution ---------------------------------
     def set_node_power_caps(self, caps_w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

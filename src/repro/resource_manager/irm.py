@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
 
-from repro.hardware.node import Node
+import numpy as np
+
+from repro.node_mgmt.powercap import distribute_power_budget
 from repro.resource_manager.job import Job, JobState
 from repro.resource_manager.slurm import PowerAwareScheduler, SchedulerConfig
 from repro.runtime.epop import EpopRuntime
@@ -77,7 +79,9 @@ class InvasiveResourceManager(PowerAwareScheduler):
         self.prediction_margin = float(prediction_margin)
         self.events: List[CorridorEvent] = []
         self._corridor_started = False
-        self._shutdown_nodes: List[Node] = []
+        #: Shut-down set as a node mask, so the telemetry/prediction hot
+        #: loops run as array expressions over the ClusterState.
+        self._shutdown_mask = np.zeros(len(cluster), dtype=bool)
 
     # -- EPOP integration -------------------------------------------------------------
     def _default_runtime(self, job: Job, budget_w: Optional[float]):
@@ -106,30 +110,50 @@ class InvasiveResourceManager(PowerAwareScheduler):
 
     def _corridor_loop(self):
         while True:
+            self._reclaim_released_nodes()
             self._enforce_corridor()
             yield self.env.timeout(self.control_interval_s)
+
+    def _reclaim_released_nodes(self) -> None:
+        """Take back nodes malleable jobs gave up at their last shrink.
+
+        EPOP applies a shrink at the next elastic point and parks the
+        dropped nodes in ``take_released_nodes()``; without this reclaim
+        they would stay allocated (and invisible to the free mask) until
+        the job finished.
+        """
+        for job_id, runtime in self.epop_jobs().items():
+            released = runtime.take_released_nodes()
+            if not released:
+                continue
+            owned = self._owned_nodes.get(job_id)
+            for node in released:
+                if node.allocated_to == job_id:
+                    node.release()
+                if owned is not None and node in owned:
+                    owned.remove(node)
+            if owned is not None:
+                self._availability.update_count(job_id, len(owned))
 
     def predicted_power_w(self) -> float:
         """Predicted system power for the next control interval.
 
         EPOP jobs report an empirical prediction; rigid jobs are assumed
         to keep drawing their current power; idle nodes draw idle power
-        (unless shut down).
+        (unless shut down).  One masked array expression over the
+        ClusterState covers the non-EPOP remainder of the machine.
         """
         total = 0.0
-        predicted_hosts: set = set()
+        state = self.cluster.state
+        excluded = self._shutdown_mask.copy()
         for runtime in self.epop_jobs().values():
             total += runtime.predicted_power_w()
-            predicted_hosts.update(n.hostname for n in runtime.current_nodes)
-        for node in self.cluster.nodes:
-            if node.hostname in predicted_hosts:
-                continue
-            if node in self._shutdown_nodes:
-                continue
-            if node.is_free:
-                total += node.idle_power_w()
-            else:
-                total += node.current_power_w
+            for node in runtime.current_nodes:
+                excluded[node.node_id] = True
+        contribution = np.where(
+            state.node_free, state.idle_power_per_node(), state.node_current_power_w
+        )
+        total += float(contribution[~excluded].sum())
         return total * (1.0 + self.prediction_margin)
 
     # -- enforcement strategies --------------------------------------------------------------
@@ -210,8 +234,8 @@ class InvasiveResourceManager(PowerAwareScheduler):
 
     def _expand_malleable(self, deficit_w: float, predicted: float) -> None:
         epop = self.epop_jobs()
-        free = self.cluster.free_nodes()
-        free = [n for n in free if n not in self._shutdown_nodes]
+        free_idx = self.cluster.free_node_indices()
+        free = self.cluster.nodes_at(free_idx[~self._shutdown_mask[free_idx]])
         if not epop or not free:
             return
         job_id, runtime = min(epop.items(), key=lambda kv: len(kv[1].current_nodes))
@@ -234,6 +258,12 @@ class InvasiveResourceManager(PowerAwareScheduler):
         for node in new_nodes[len(nodes):]:
             node.allocate(job_id)
         if runtime.request_resize(new_nodes):
+            # Track the grown node set so _finish reclaims every node the
+            # job ever owned, not just the launch-time allocation — and
+            # keep the EASY reservation profile's node count current.
+            owned = self._owned_nodes.setdefault(job_id, [])
+            owned.extend(new_nodes[len(nodes):])
+            self._availability.update_count(job_id, len(owned))
             self._log(
                 "expand", predicted, job_id=job_id,
                 nodes_before=float(len(nodes)), nodes_after=float(new_count),
@@ -244,50 +274,60 @@ class InvasiveResourceManager(PowerAwareScheduler):
 
     # baselines -----------------------------------------------------------------------
     def _tighten_caps(self, excess_w: float, predicted: float) -> None:
-        running = list(self.running.values())
+        """Shed ``excess_w`` by tightening per-job budgets, applied in one
+        vectorised cap pass: each job's reduced budget is waterfilled over
+        its nodes (:func:`distribute_power_budget`) and the whole cluster
+        cap vector is written through :meth:`Cluster.apply_power_caps`."""
+        running = [j for j in self.running.values() if j.assigned_nodes]
         if not running:
             return
+        spec = self.cluster.spec.node
         per_job = excess_w / len(running)
+        caps = self.cluster.state.node_power_cap_w.copy()
         for job in running:
-            if not job.assigned_nodes:
-                continue
-            current = job.power_budget_w or sum(n.max_power_w() for n in job.assigned_nodes)
-            new_budget = max(
-                len(job.assigned_nodes) * job.assigned_nodes[0].spec.min_power_w,
-                current - per_job,
-            )
+            count = len(job.assigned_nodes)
+            current = job.power_budget_w or count * spec.tdp_w
+            new_budget = max(count * spec.min_power_w, current - per_job)
             job.power_budget_w = new_budget
-            share = new_budget / len(job.assigned_nodes)
-            for node in job.assigned_nodes:
-                node.set_power_cap(share)
+            shares = distribute_power_budget(
+                new_budget, count, spec.min_power_w, spec.tdp_w
+            )
+            indices = [node.node_id for node in job.assigned_nodes]
+            caps[indices] = shares
+        self.cluster.apply_power_caps(caps)
         self._log("tighten_caps", predicted, excess_w=excess_w)
 
     def _relax_caps(self, predicted: float) -> None:
+        caps = self.cluster.state.node_power_cap_w.copy()
         for job in self.running.values():
             for node in job.assigned_nodes:
-                node.set_power_cap(None)
+                caps[node.node_id] = np.nan  # uncap
+        self.cluster.apply_power_caps(caps)
         self._log("relax_caps", predicted)
 
     def _apply_dvfs(self, predicted: float, lower: bool) -> None:
-        for job in self.running.values():
-            for node in job.assigned_nodes:
-                spec = node.spec.cpu
-                current = node.packages[0].frequency_ghz
-                step = spec.freq_step_ghz * 2
-                node.set_frequency(current + step if lower else current - step)
+        state = self.cluster.state
+        indices = np.array(
+            [n.node_id for job in self.running.values() for n in job.assigned_nodes],
+            dtype=int,
+        )
+        if indices.size:
+            step = self.cluster.spec.node.cpu.freq_step_ghz * 2
+            current = state.pkg_freq_target_ghz[indices, 0]
+            state.set_node_frequencies(current + step if lower else current - step, indices)
         self._log("dvfs_up" if lower else "dvfs_down", predicted)
 
     def _shutdown_idle(self, predicted: float) -> None:
-        idle = [n for n in self.cluster.free_nodes() if n not in self._shutdown_nodes]
-        for node in idle:
-            self._shutdown_nodes.append(node)
-        if idle:
-            self._log("idle_shutdown", predicted, nodes=float(len(idle)))
+        idle = self.cluster.state.node_free & ~self._shutdown_mask
+        count = int(np.count_nonzero(idle))
+        if count:
+            self._shutdown_mask |= idle
+            self._log("idle_shutdown", predicted, nodes=float(count))
 
     def _power_up_nodes(self, predicted: float) -> None:
-        if self._shutdown_nodes:
-            count = len(self._shutdown_nodes)
-            self._shutdown_nodes.clear()
+        count = int(np.count_nonzero(self._shutdown_mask))
+        if count:
+            self._shutdown_mask[:] = False
             self._log("power_up", predicted, nodes=float(count))
 
     def _cancel_youngest(self, predicted: float) -> None:
@@ -301,19 +341,18 @@ class InvasiveResourceManager(PowerAwareScheduler):
     # -- telemetry override: shut-down nodes draw (almost) nothing --------------------------
     def _sample_power(self) -> None:
         now = self.env.now
-        busy = len(self.cluster.allocated_nodes())
+        state = self.cluster.state
+        busy = state.busy_count
         dt = now - self._last_utilization_sample_s
         if dt > 0:
             self._busy_node_seconds += busy * dt
             self._last_utilization_sample_s = now
-        power = 0.0
-        for node in self.cluster.nodes:
-            if node in self._shutdown_nodes and node.is_free:
-                power += 5.0  # BMC stays on
-            elif node.is_free:
-                power += node.idle_power_w()
-            else:
-                power += node.current_power_w
+        idle_draw = np.where(
+            self._shutdown_mask, 5.0, state.idle_power_per_node()  # BMC stays on
+        )
+        power = float(
+            np.where(state.node_free, idle_draw, state.node_current_power_w).sum()
+        )
         self.power_series.record(now, power)
 
     # -- reporting ---------------------------------------------------------------------------

@@ -203,21 +203,53 @@ class OverprovisioningPlanner:
 
     # -- evaluation -------------------------------------------------------------------
     def _prepare_nodes(self, partition: PoweredPartition) -> List[Node]:
-        nodes = self.cluster.nodes[: partition.nodes_powered]
-        for node in nodes:
+        """Configure the cluster for one partition in vectorised passes.
+
+        DVFS reset, uncore reset, and the per-node cap vector all go
+        through the ClusterState array kernels
+        (:meth:`~repro.hardware.state.ClusterState.set_node_frequencies`,
+        :meth:`Cluster.apply_power_caps`) instead of per-node loops; dark
+        nodes are uncapped (NaN) and pinned at the BMC standby draw.
+        """
+        cluster = self.cluster
+        state = cluster.state
+        spec = cluster.spec.node
+        n_powered = partition.nodes_powered
+        for node in cluster.nodes:  # release keeps the free mask in sync
             node.allocated_to = None
-            node.set_frequency(node.spec.cpu.freq_max_ghz)
-            node.set_uncore_frequency(node.spec.cpu.uncore_max_ghz)
-            cap = partition.per_node_cap_w
-            if not partition.accelerators_powered and node.gpus:
-                # Dark accelerators: their budget share goes back to the CPUs.
+        powered = np.arange(n_powered)
+        state.set_node_frequencies(spec.cpu.freq_max_ghz, powered)
+        state.set_node_uncore_frequencies(spec.cpu.uncore_max_ghz, powered)
+        # Clear first so every evaluation starts from the same cap state
+        # (apply_power_caps skips bookkeeping for unchanged node caps).
+        cluster.apply_uniform_power_cap(None)
+        caps = np.full(len(cluster), np.nan)
+        caps[:n_powered] = partition.per_node_cap_w
+        cluster.apply_power_caps(caps)
+        if not partition.accelerators_powered and spec.n_gpus > 0:
+            # Dark accelerators free their budget share for the CPU
+            # sockets: pin every GPU at its minimum cap and hand the rest
+            # of the node budget (cap - platform - parked GPUs) to the
+            # packages, overriding the TDP-proportional split the generic
+            # cap pass wrote.
+            node_cap = max(partition.per_node_cap_w, spec.min_power_w)
+            cpu_budget = (
+                node_cap
+                - spec.platform_power_w
+                - spec.n_gpus * spec.gpu.min_power_cap_w
+            )
+            per_pkg = np.clip(
+                cpu_budget / spec.n_sockets,
+                spec.cpu.min_power_cap_w,
+                spec.cpu.tdp_w,
+            )
+            state.pkg_power_cap_w[:n_powered] = per_pkg
+            for node in cluster.nodes[:n_powered]:
+                node.rapl.set_node_package_limit(float(per_pkg * spec.n_sockets))
                 for gpu in node.gpus:
                     gpu.set_power_cap(gpu.spec.min_power_cap_w)
-            node.set_power_cap(cap)
-        for node in self.cluster.nodes[partition.nodes_powered:]:
-            node.allocated_to = None
-            node.current_power_w = DARK_NODE_POWER_W
-        return list(nodes)
+        state.node_current_power_w[n_powered:] = DARK_NODE_POWER_W
+        return list(cluster.nodes[:n_powered])
 
     def evaluate(
         self,

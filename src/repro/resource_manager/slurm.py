@@ -17,8 +17,9 @@ need:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,10 +41,91 @@ from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 from repro.telemetry.sampler import PowerTimeSeries
 
-__all__ = ["SchedulerConfig", "SchedulerStats", "PowerAwareScheduler"]
+__all__ = [
+    "SchedulerConfig",
+    "SchedulerStats",
+    "LaunchPlan",
+    "NodeAvailabilityProfile",
+    "PowerAwareScheduler",
+]
 
 #: Signature of a runtime factory: (job, power_budget_w, scheduler) -> hooks.
 RuntimeFactory = Callable[[Job, Optional[float], "PowerAwareScheduler"], RuntimeHooks]
+
+#: Reservation fallback when the availability profile never frees enough
+#: nodes for the head job (nothing to backfill against).
+PESSIMISTIC_SHADOW_S = 10 * 3600.0
+
+
+class NodeAvailabilityProfile:
+    """Running-job release profile for O(running) reservation computation.
+
+    Keeps ``(estimated_release_time, node_count)`` entries sorted by
+    release time, maintained incrementally at every launch and release,
+    so the head job's earliest-start ("shadow") computation is one
+    cumulative sum over the profile instead of a per-call sort of the
+    whole running set.
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[Tuple[float, str]] = []
+        self._counts: List[int] = []
+        self._entries: Dict[str, Tuple[float, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, job_id: str, release_time_s: float, node_count: int) -> None:
+        if job_id in self._entries:
+            self.remove(job_id)
+        key = (release_time_s, job_id)
+        i = bisect.bisect_left(self._keys, key)
+        self._keys.insert(i, key)
+        self._counts.insert(i, int(node_count))
+        self._entries[job_id] = (release_time_s, int(node_count))
+
+    def remove(self, job_id: str) -> None:
+        entry = self._entries.pop(job_id, None)
+        if entry is None:
+            return
+        i = bisect.bisect_left(self._keys, (entry[0], job_id))
+        del self._keys[i]
+        del self._counts[i]
+
+    def update_count(self, job_id: str, node_count: int) -> None:
+        """Adjust a job's node count in place (malleable grow/shrink)."""
+        entry = self._entries.get(job_id)
+        if entry is None or entry[1] == node_count:
+            return
+        self.add(job_id, entry[0], node_count)
+
+    def earliest_start(self, needed: int, free_count: int, now_s: float) -> float:
+        """Earliest time ``needed`` nodes are expected to be available."""
+        if free_count >= needed:
+            return now_s
+        if not self._counts:
+            return now_s + PESSIMISTIC_SHADOW_S
+        cumulative = np.cumsum(self._counts)
+        idx = int(np.searchsorted(cumulative, needed - free_count))
+        if idx >= len(self._keys):
+            return now_s + PESSIMISTIC_SHADOW_S
+        return max(self._keys[idx][0], now_s)
+
+
+@dataclass(frozen=True)
+class LaunchPlan:
+    """Outcome of the shared feasibility kernel for one candidate job.
+
+    Backfill candidacy (:meth:`PowerAwareScheduler._fits_now`) and the
+    actual launch (:meth:`PowerAwareScheduler._try_start`) both consume
+    the same plan, so they can never disagree on the candidate node set,
+    the budget inputs, or power feasibility.
+    """
+
+    node_count: int
+    node_indices: Tuple[int, ...]
+    budget_w: Optional[float]
+    commitment_w: float
 
 
 @dataclass
@@ -61,6 +143,11 @@ class SchedulerConfig:
     #: Optional cap on how long the scheduler keeps scheduling (safety net).
     max_simulated_time_s: Optional[float] = None
     runtime_factory: Optional[RuntimeFactory] = None
+    #: Drive node selection / feasibility / reservations on the cluster's
+    #: struct-of-arrays state (the default).  ``False`` selects the scalar
+    #: per-``Node``-list reference path, which must stay decision-identical
+    #: (bench_perf_scheduler_scale asserts bit-equal schedules).
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.scheduling_interval_s <= 0 or self.monitor_interval_s <= 0:
@@ -140,14 +227,41 @@ class PowerAwareScheduler:
         self._started = False
         self._sims: Dict[str, MpiJobSimulator] = {}
         self._expected_submissions = 0
+        #: Incremental release profile backing the EASY reservation.
+        self._availability = NodeAvailabilityProfile()
+        #: Power commitment recorded per launch, so release is symmetric
+        #: even when a job's budget is retuned while it runs.
+        self._commitments: Dict[str, float] = {}
+        #: Nodes currently owned by each job (updated on malleable resizes),
+        #: released in _finish.
+        self._owned_nodes: Dict[str, List[Node]] = {}
+        #: Tightest head-job reservation ever promised, per job id.  The
+        #: EASY invariant (a backfill never delays the head past its
+        #: reservation) is asserted against this map by the test suite.
+        self.head_reservations: Dict[str, float] = {}
 
     # -- public API ------------------------------------------------------------------
     def submit(self, request: JobRequest) -> Job:
-        """Submit a job now; scheduling is attempted immediately."""
+        """Submit a job now; scheduling is attempted immediately.
+
+        Jobs that can never run on this cluster — no node count satisfies
+        the application's rank constraint, or the smallest acceptable
+        count exceeds the machine — are rejected (FAILED) instead of
+        queued, so one malformed request cannot wedge the FCFS head and
+        starve the queue forever.
+        """
         if request.job_id in self.jobs:
             raise ValueError(f"duplicate job id {request.job_id!r}")
         job = Job(request=request, submit_time_s=self.env.now)
         self.jobs[request.job_id] = job
+        acceptable = request.acceptable_node_counts()
+        if not acceptable or min(acceptable) > len(self.cluster):
+            job.mark_failed(self.env.now)
+            job.launch_metadata["reject_reason"] = (
+                "no acceptable node count fits this cluster "
+                f"(acceptable={acceptable}, cluster={len(self.cluster)} nodes)"
+            )
+            return job
         self.queue.push(job)
         self._schedule()
         return job
@@ -172,6 +286,9 @@ class PowerAwareScheduler:
         while (
             len(self.jobs) < self._expected_submissions
             or any(j.is_active for j in self.jobs.values())
+            # Cancelled jobs stay in `running` until their simulator
+            # unwinds; keep driving the DES so their nodes are reclaimed.
+            or self.running
         ):
             horizon = self.env.peek()
             if horizon == float("inf"):
@@ -210,7 +327,7 @@ class PowerAwareScheduler:
 
     def _sample_power(self) -> None:
         now = self.env.now
-        busy = len(self.cluster.allocated_nodes())
+        busy = self.cluster.state.busy_count
         dt = now - self._last_utilization_sample_s
         if dt > 0:
             self._busy_node_seconds += busy * dt
@@ -224,22 +341,36 @@ class PowerAwareScheduler:
         return self._committed_power_w
 
     def _commitment_for(self, nodes: Sequence[Node], budget_w: Optional[float]) -> float:
+        return self._commitment_for_count(len(nodes), budget_w)
+
+    def _commitment_for_count(self, count: int, budget_w: Optional[float]) -> float:
+        """Commitment of an uncapped job is its nodes' worst-case draw."""
         if budget_w is not None:
             return budget_w
-        return sum(n.max_power_w() for n in nodes)
+        return count * self.cluster.spec.node.tdp_w
 
     # -- scheduling core ----------------------------------------------------------------------
-    def _select_nodes(self, count: int) -> Optional[List[Node]]:
+    def _free_count(self) -> int:
+        if self.config.vectorized:
+            return self.cluster.state.free_count
+        return len(self.cluster.free_nodes())
+
+    def _ranked_free_indices(self) -> Sequence[int]:
+        """Free nodes in selection order (best-first for the active policy)."""
+        if self.config.vectorized:
+            if self.config.thermal_aware_node_selection:
+                return self.cluster.rank_free_by_temperature()
+            if self.config.power_aware_node_selection:
+                return self.cluster.rank_free_by_efficiency()
+            return self.cluster.free_node_indices()
         free = self.cluster.free_nodes()
-        if len(free) < count:
-            return None
         if self.config.thermal_aware_node_selection:
             ranked = self.cluster.rank_nodes_by_temperature(free)
         elif self.config.power_aware_node_selection:
             ranked = self.cluster.rank_nodes_by_efficiency(free)
         else:
             ranked = free
-        return ranked[:count]
+        return [n.node_id for n in ranked]
 
     def _choose_node_count(self, job: Job, free_count: int) -> Optional[int]:
         """Node count to start the job with (moldable jobs shrink to fit)."""
@@ -254,35 +385,58 @@ class PowerAwareScheduler:
             return preferred
         return max(fitting)
 
-    def _power_feasible(self, nodes: Sequence[Node], budget_w: Optional[float]) -> bool:
-        commitment = self._commitment_for(nodes, budget_w)
-        return (
-            self._committed_power_w + commitment
-            <= self.policies.schedulable_power_w + 1e-6
-        )
+    def _plan_launch(self, job: Job) -> Optional[LaunchPlan]:
+        """Shared feasibility kernel: candidate node set + budget + power check.
 
-    def _try_start(self, job: Job, backfill: bool = False) -> bool:
-        free = self.cluster.free_nodes()
-        count = self._choose_node_count(job, len(free))
+        Both backfill candidacy (:meth:`_fits_now`) and the actual launch
+        (:meth:`_try_start`) evaluate THIS plan — the ranked candidate
+        set and the budget inputs are computed once, so candidacy and
+        launch cannot disagree under manufacturing variation (the ranked
+        set differs from node-id order precisely when variation matters).
+        """
+        count = self._choose_node_count(job, self._free_count())
         if count is None:
-            return False
-        nodes = self._select_nodes(count)
-        if nodes is None:
-            return False
+            return None
+        ranked = self._ranked_free_indices()
+        if len(ranked) < count:
+            return None
+        indices = tuple(int(i) for i in ranked[:count])
+        spec = self.cluster.spec.node
         budget = self.policies.job_budget_w(
             job_nodes=count,
             total_nodes=len(self.cluster),
             committed_power_w=self._committed_power_w,
-            node_tdp_w=nodes[0].max_power_w(),
-            node_min_w=nodes[0].spec.min_power_w,
+            node_tdp_w=self.cluster.nodes[indices[0]].max_power_w(),
+            node_min_w=spec.min_power_w,
         )
-        if not self._power_feasible(nodes, budget):
+        commitment = self._commitment_for_count(count, budget)
+        if (
+            self._committed_power_w + commitment
+            > self.policies.schedulable_power_w + 1e-6
+        ):
+            return None
+        return LaunchPlan(count, indices, budget, commitment)
+
+    def _try_start(self, job: Job, backfill: bool = False) -> bool:
+        plan = self._plan_launch(job)
+        if plan is None:
             return False
-        self._launch(job, nodes, budget, backfilled=backfill)
+        nodes = self.cluster.nodes_at(plan.node_indices)
+        self._launch(job, nodes, plan.budget_w, backfilled=backfill, plan=plan)
         return True
 
+    def _fits_now(self, job: Job) -> bool:
+        return self._plan_launch(job) is not None
+
     def _schedule(self) -> None:
-        """One scheduling pass: FCFS head first, then EASY backfill."""
+        """One scheduling pass: FCFS head first, then EASY backfill.
+
+        The head's reservation (shadow time) is recomputed from the
+        availability profile after *every* backfill launch, and the
+        remaining candidates are re-filtered against the fresh value, so
+        a later backfill can never ride on a stale reservation and delay
+        the head job.
+        """
         progressed = True
         while progressed:
             progressed = False
@@ -298,39 +452,54 @@ class PowerAwareScheduler:
         if head is None:
             return
         shadow = self._shadow_time(head)
+        self._record_reservation(head, shadow)
         candidates = self.queue.backfill_candidates(
             self.env.now, shadow, fits=lambda job: self._fits_now(job)
         )
         for job in candidates:
-            if self._try_start(job, backfill=True):
-                self.queue.remove(job)
-                self.backfilled_jobs += 1
+            # Re-filter against the reservation as recomputed after the
+            # previous backfill launch (stale-shadow EASY fix).
+            if self.env.now + job.request.walltime_estimate_s > shadow:
+                continue
+            plan = self._plan_launch(job)
+            if plan is None:
+                continue
+            self._launch(
+                job, self.cluster.nodes_at(plan.node_indices), plan.budget_w,
+                backfilled=True, plan=plan,
+            )
+            self.queue.remove(job)
+            self.backfilled_jobs += 1
+            shadow = self._shadow_time(head)
+            self._record_reservation(head, shadow)
 
-    def _fits_now(self, job: Job) -> bool:
-        free = self.cluster.free_nodes()
-        count = self._choose_node_count(job, len(free))
-        if count is None:
-            return False
-        nodes = free[:count]
-        budget = self.policies.job_budget_w(
-            job_nodes=count,
-            total_nodes=len(self.cluster),
-            committed_power_w=self._committed_power_w,
-            node_tdp_w=nodes[0].max_power_w(),
-            node_min_w=nodes[0].spec.min_power_w,
-        )
-        return self._power_feasible(nodes, budget)
+    def _record_reservation(self, head: Job, shadow: float) -> None:
+        current = self.head_reservations.get(head.job_id)
+        if current is None or shadow < current:
+            self.head_reservations[head.job_id] = shadow
 
     def _shadow_time(self, head: Job) -> float:
-        """Estimated earliest start of the head job (its reservation time)."""
+        """Estimated earliest start of the head job (its reservation time).
+
+        The vectorized path reads the incrementally maintained
+        :class:`NodeAvailabilityProfile` (one cumulative sum); the scalar
+        reference path re-sorts the running set per call.  Cancelled jobs
+        stay in ``self.running`` (and in the profile) until the simulator
+        actually unwinds and their nodes are reclaimed, so pending
+        releases are never undercounted.
+        """
         needed = min(head.request.acceptable_node_counts() or [head.request.nodes_requested])
-        free = len(self.cluster.free_nodes())
+        free = self._free_count()
+        if self.config.vectorized:
+            return self._availability.earliest_start(needed, free, self.env.now)
         if free >= needed:
             return self.env.now
         releases = sorted(
             (
                 (job.start_time_s or self.env.now) + job.request.walltime_estimate_s,
-                job.node_count,
+                # The owned-node ledger tracks malleable grow/shrink; the
+                # launch snapshot (assigned_nodes) does not.
+                len(self._owned_nodes.get(job.job_id, job.assigned_nodes)),
             )
             for job in self.running.values()
         )
@@ -339,7 +508,7 @@ class PowerAwareScheduler:
             available += count
             if available >= needed:
                 return max(when, self.env.now)
-        return self.env.now + 10 * 3600.0  # pessimistic: nothing frees up soon
+        return self.env.now + PESSIMISTIC_SHADOW_S  # pessimistic: nothing frees up soon
 
     # -- launching -----------------------------------------------------------------------------
     def _default_runtime(self, job: Job, budget_w: Optional[float]) -> RuntimeHooks:
@@ -355,9 +524,46 @@ class PowerAwareScheduler:
         }
         return runtime
 
-    def _launch(self, job: Job, nodes: List[Node], budget_w: Optional[float], backfilled: bool) -> None:
+    def _account_launch(
+        self,
+        job: Job,
+        nodes: List[Node],
+        budget_w: Optional[float],
+        backfilled: bool,
+        plan: Optional[LaunchPlan] = None,
+    ) -> None:
+        """Allocation / power / reservation bookkeeping of a launch.
+
+        Factored out of :meth:`_launch` so the scheduler-scale benchmark
+        can populate a realistic running set without driving job
+        simulators.
+        """
         for node in nodes:
             node.allocate(job.job_id)
+        job.mark_started(self.env.now, nodes, budget_w)
+        job.launch_metadata.setdefault("power_budget_w", budget_w)
+        job.launch_metadata["backfilled"] = backfilled
+        commitment = (
+            plan.commitment_w if plan is not None else self._commitment_for(nodes, budget_w)
+        )
+        self._commitments[job.job_id] = commitment
+        self._committed_power_w += commitment
+        self.running[job.job_id] = job
+        self._owned_nodes[job.job_id] = list(nodes)
+        self._availability.add(
+            job.job_id,
+            self.env.now + job.request.walltime_estimate_s,
+            len(nodes),
+        )
+
+    def _launch(
+        self,
+        job: Job,
+        nodes: List[Node],
+        budget_w: Optional[float],
+        backfilled: bool,
+        plan: Optional[LaunchPlan] = None,
+    ) -> None:
         if self.config.runtime_factory is not None:
             runtime = self.config.runtime_factory(job, budget_w, self)
         else:
@@ -376,11 +582,7 @@ class PowerAwareScheduler:
             imbalance_sigma=self.config.imbalance_sigma,
             job_id=job.job_id,
         )
-        job.mark_started(self.env.now, nodes, budget_w)
-        job.launch_metadata.setdefault("power_budget_w", budget_w)
-        job.launch_metadata["backfilled"] = backfilled
-        self._committed_power_w += self._commitment_for(nodes, budget_w)
-        self.running[job.job_id] = job
+        self._account_launch(job, nodes, budget_w, backfilled, plan)
         self.env.process(self._job_process(job, sim))
 
     def _job_process(self, job: Job, sim: MpiJobSimulator):
@@ -392,13 +594,22 @@ class PowerAwareScheduler:
         self._finish(job)
 
     def _finish(self, job: Job) -> None:
-        budget = job.power_budget_w
-        self._committed_power_w -= self._commitment_for(job.assigned_nodes, budget)
+        # Release exactly what was committed at launch: a budget retuned
+        # while the job ran (e.g. corridor cap tightening) must not skew
+        # the committed-power ledger.
+        commitment = self._commitments.pop(
+            job.job_id, self._commitment_for(job.assigned_nodes, job.power_budget_w)
+        )
+        self._committed_power_w -= commitment
         self._committed_power_w = max(0.0, self._committed_power_w)
-        for node in job.assigned_nodes:
-            node.release()
+        owned = self._owned_nodes.pop(job.job_id, job.assigned_nodes)
+        for node in owned:
+            if node.allocated_to == job.job_id:
+                node.release()
         self.running.pop(job.job_id, None)
-        self.completed.append(job)
+        self._availability.remove(job.job_id)
+        if job.state is not JobState.CANCELLED:
+            self.completed.append(job)
         self._sample_power()
         self._schedule()
 
@@ -413,9 +624,11 @@ class PowerAwareScheduler:
             if sim is not None:
                 sim.cancel()
             job.mark_cancelled(self.env.now)
-            self.running.pop(job_id, None)
-            # The underlying simulator stops at the next iteration boundary;
-            # resources are reclaimed in _finish when it ends.
+            # The underlying simulator stops at the next iteration boundary.
+            # The job stays in ``self.running`` (and in the availability
+            # profile) until _finish actually reclaims its nodes: popping
+            # it here would make the EASY reservation undercount pending
+            # releases and let backfills delay the head job.
 
     # -- statistics -------------------------------------------------------------------------------
     def stats(self) -> SchedulerStats:

@@ -112,7 +112,10 @@ class PowerTimeSeries:
         """Time-weighted mean power over the trace."""
         if len(self._times) < 2:
             return float(self._values[0]) if self._values else 0.0
-        return float(np.trapezoid(self._values, self._times) / (self._times[-1] - self._times[0]))
+        span = self._times[-1] - self._times[0]
+        if span <= 0:  # all samples at one instant: plain average
+            return float(np.mean(self._values))
+        return float(np.trapezoid(self._values, self._times) / span)
 
     def max_power_w(self) -> float:
         return float(np.max(self._values)) if self._values else 0.0

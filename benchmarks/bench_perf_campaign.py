@@ -1,0 +1,124 @@
+"""Perf — parallel multi-seed campaign fan-out vs the sequential loop.
+
+Before the ``repro.experiments`` subsystem, multi-seed experiment grids
+were run by hand: a Python loop calling ``run_use_case`` once per
+(use case, seed) pair, strictly serially.  The campaign runner expands
+the same grid declaratively and fans it out over the PR 1/2 process
+pool, with per-run RNG streams derived deterministically so the results
+are identical run for run.
+
+This benchmark runs a >=24-run grid (uc6 + uc7 across derived seeds)
+three ways — the hand-rolled sequential loop, a serial campaign and a
+process-pool campaign — and records:
+
+* **result parity** — the parallel campaign's flattened metrics must
+  equal the sequential loop's, run for run (asserted exactly);
+* **campaign.speedup** — parallel campaign wall time vs the sequential
+  loop (guarded against regression in BENCH_perf.json).
+
+The >=3x speedup assertion is gated on available CPUs: fan-out over a
+process pool cannot beat the serial loop on a 1-2 core container, and
+pretending otherwise would make the bench flaky instead of meaningful.
+On >=4 cores the assertion is enforced.
+"""
+
+import os
+import time
+
+from conftest import banner, record_perf, run_once
+
+from repro.experiments import Campaign, build_scenario, derive_seeds, run_registered
+from repro.experiments.registry import scalar_metrics
+
+N_SEEDS = 12  # x2 use cases = 24 scenario-seed runs
+UC_PARAMS = {
+    "uc6": {"n_nodes": 2, "n_iterations": 10},
+    "uc7": {"n_nodes": 2, "n_iterations": 10},
+}
+MIN_SPEEDUP = 3.0
+MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def build_campaign(name: str) -> Campaign:
+    seeds = derive_seeds(97, N_SEEDS)
+    return Campaign(
+        [
+            build_scenario(uc, params=params, seeds=seeds)
+            for uc, params in sorted(UC_PARAMS.items())
+        ],
+        name=name,
+    )
+
+
+def sequential_loop():
+    """The pre-campaign idiom: a plain loop over the same grid."""
+    seeds = derive_seeds(97, N_SEEDS)
+    results = []
+    for uc, params in sorted(UC_PARAMS.items()):
+        for seed in seeds:
+            results.append(run_registered(uc, seed=seed, **params))
+    return results
+
+
+def run_benchmark():
+    t0 = time.perf_counter()
+    loop_results = sequential_loop()
+    loop_wall = time.perf_counter() - t0
+
+    serial = build_campaign("serial").run(executor="serial")
+    parallel = build_campaign("parallel").run(
+        executor="process", max_workers=os.cpu_count()
+    )
+
+    loop_metrics = [scalar_metrics(result) for result in loop_results]
+    parity_parallel = [run.metrics for run in parallel.runs] == loop_metrics
+    parity_serial = [run.metrics for run in serial.runs] == loop_metrics
+
+    return {
+        "n_runs": len(parallel.runs),
+        "n_seeds": N_SEEDS,
+        "cpus": os.cpu_count(),
+        "loop_wall_s": loop_wall,
+        "serial_campaign_wall_s": serial.elapsed_s,
+        "parallel_campaign_wall_s": parallel.elapsed_s,
+        "speedup": loop_wall / parallel.elapsed_s,
+        "campaign_overhead": serial.elapsed_s / loop_wall,
+        "runs_per_sec_parallel": len(parallel.runs) / parallel.elapsed_s,
+        "parity_parallel_vs_loop": parity_parallel,
+        "parity_serial_vs_loop": parity_serial,
+        "all_feasible": all(run.feasible for run in parallel.runs),
+    }
+
+
+def test_perf_campaign(benchmark):
+    stats = run_once(benchmark, run_benchmark)
+    banner(
+        f"Perf: campaign fan-out — {stats['n_runs']} scenario-seed runs "
+        f"(uc6+uc7 x {N_SEEDS} seeds) on {stats['cpus']} CPU(s)"
+    )
+    print(
+        f"sequential loop {stats['loop_wall_s']:.2f} s | serial campaign "
+        f"{stats['serial_campaign_wall_s']:.2f} s | parallel campaign "
+        f"{stats['parallel_campaign_wall_s']:.2f} s | speedup "
+        f"{stats['speedup']:.2f}x ({stats['runs_per_sec_parallel']:.1f} runs/sec)"
+    )
+    print(
+        f"parity: parallel==loop {stats['parity_parallel_vs_loop']}, "
+        f"serial==loop {stats['parity_serial_vs_loop']}, "
+        f"all feasible {stats['all_feasible']}"
+    )
+    path = record_perf("campaign", {k: stats[k] for k in sorted(stats)})
+    print(f"recorded -> {path}")
+
+    assert stats["parity_parallel_vs_loop"]
+    assert stats["parity_serial_vs_loop"]
+    assert stats["all_feasible"]
+    # The serial campaign must not add material overhead over the raw loop.
+    assert stats["campaign_overhead"] <= 1.25
+    if (stats["cpus"] or 1) >= MIN_CPUS_FOR_SPEEDUP:
+        assert stats["speedup"] >= MIN_SPEEDUP
+    else:
+        print(
+            f"NOTE: {stats['cpus']} CPU(s) < {MIN_CPUS_FOR_SPEEDUP}; "
+            f">= {MIN_SPEEDUP:.0f}x fan-out speedup not asserted on this host"
+        )

@@ -30,6 +30,7 @@ PERF_GUARDED_KEYS = {
     "tuning_throughput": ("speedup",),
     "cluster_scale": ("speedup_power_energy",),
     "scheduler_scale": ("speedup",),
+    "campaign": ("speedup",),
 }
 PERF_REGRESSION_TOLERANCE = 0.20
 

@@ -12,7 +12,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "sparkline", "ascii_timeseries", "format_metrics"]
+__all__ = [
+    "format_table",
+    "sparkline",
+    "ascii_timeseries",
+    "format_metrics",
+    "aggregate_across_seeds",
+]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -60,6 +66,49 @@ def format_metrics(metrics: Mapping[str, float], keys: Optional[Sequence[str]] =
             value = metrics[key]
             parts.append(f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}")
     return "  ".join(parts)
+
+
+def aggregate_across_seeds(
+    rows: Sequence[Mapping[str, object]],
+    group_keys: Sequence[str] = ("use_case", "scenario"),
+    metrics: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Cross-seed statistics of campaign runs, grouped by scenario.
+
+    ``rows`` are per-run dictionaries carrying the ``group_keys`` fields
+    plus a ``"metrics"`` mapping of scalar values (the shape
+    :meth:`repro.experiments.CampaignResult.rows` produces).  Runs in the
+    same group (same use case + scenario, typically differing only by
+    seed) are stacked column-wise and reduced with one vectorised pass
+    per metric: the result maps ``"uc1/scenario"`` to
+    ``{metric: {count, mean, std, min, max}}``.  ``metrics`` restricts
+    the reduction to named metrics; by default every metric present in
+    all of a group's runs is aggregated.
+    """
+    groups: Dict[str, List[Mapping[str, float]]] = {}
+    for row in rows:
+        label = "/".join(str(row.get(key, "")) for key in group_keys)
+        groups.setdefault(label, []).append(row.get("metrics", {}))  # type: ignore[arg-type]
+
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for label, metric_dicts in groups.items():
+        shared = set(metric_dicts[0])
+        for d in metric_dicts[1:]:
+            shared &= set(d)
+        if metrics is not None:
+            shared &= set(metrics)
+        stats: Dict[str, Dict[str, float]] = {}
+        for name in sorted(shared):
+            values = np.array([float(d[name]) for d in metric_dicts])
+            stats[name] = {
+                "count": float(values.size),
+                "mean": float(values.mean()),
+                "std": float(values.std()),
+                "min": float(values.min()),
+                "max": float(values.max()),
+            }
+        out[label] = stats
+    return out
 
 
 def sparkline(values: Iterable[float]) -> str:

@@ -1,10 +1,13 @@
 """The seven co-tuning use cases of §3.2, as runnable library functions.
 
-Each module exposes a ``run_use_case(...)`` function that builds the
+Each module registers its experiment with the
+:mod:`repro.experiments` campaign registry and exposes a thin
+``run_use_case(...)`` shim over the registered runner: it builds the
 relevant slice of the PowerStack, runs the experiment the paper
 describes, and returns a plain dictionary of results.  The benchmark
 harness (``benchmarks/bench_uc*.py``) and the integration tests call
-these functions; the examples show how to drive them from user code.
+these functions; campaigns (``python -m repro.experiments``) run
+scenario×seed grids of them in parallel with columnar result capture.
 
 | module | paper section | layers co-tuned |
 |---|---|---|

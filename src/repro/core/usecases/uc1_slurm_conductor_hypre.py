@@ -24,27 +24,19 @@ from repro.apps.mpi import MpiJobSimulator
 from repro.core.cotuner import CoTuner
 from repro.core.objectives import make_objective
 from repro.core.space import ParameterSpace
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.experiments.registry import register_use_case, run_registered
+from repro.experiments.shared import fresh_nodes, make_cluster
+from repro.hardware.cluster import Cluster
 from repro.runtime.conductor import ConductorRuntime
 from repro.sim.rng import RandomStreams
 
 __all__ = ["run_use_case", "hypre_sweep", "cotune_hypre_conductor_rm"]
 
 
-def _fresh_nodes(cluster: Cluster, count: int, cap_w: Optional[float]) -> list:
-    nodes = cluster.nodes[:count]
-    for node in nodes:
-        node.allocated_to = None
-        node.set_power_cap(cap_w)
-        node.set_frequency(node.spec.cpu.freq_base_ghz)
-        node.set_uncore_frequency(node.spec.cpu.uncore_max_ghz)
-    return nodes
-
-
 def hypre_sweep(
     cluster: Cluster,
     nodes_per_job: int = 4,
-    per_node_budget_w: float = 280.0,
+    per_node_budget_w: Optional[float] = 280.0,
     seed: int = 1,
 ) -> List[Dict[str, Any]]:
     """Evaluate representative Hypre configurations with and without a cap."""
@@ -62,7 +54,7 @@ def hypre_sweep(
     for index, config in enumerate(configs):
         row: Dict[str, Any] = {"config": dict(config)}
         for label, cap in (("uncapped", None), ("capped", per_node_budget_w)):
-            nodes = _fresh_nodes(cluster, nodes_per_job, cap)
+            nodes = fresh_nodes(cluster, nodes_per_job, cap_w=cap)
             runtime = ConductorRuntime(
                 power_budget_w=cap * nodes_per_job if cap is not None else None
             )
@@ -90,12 +82,11 @@ def hypre_sweep(
 
 def cotune_hypre_conductor_rm(
     cluster: Cluster,
-    per_node_budget_w: float = 280.0,
+    per_node_budget_w: Optional[float] = 280.0,
     max_evals: int = 30,
     seed: int = 1,
 ) -> Dict[str, Any]:
     """Co-tune application + runtime + RM node count under a power budget."""
-    app = HypreLaplacian()
     streams = RandomStreams(seed)
 
     app_space = ParameterSpace.from_dict(
@@ -120,9 +111,13 @@ def cotune_hypre_conductor_rm(
 
     def evaluate(nested: Dict[str, Dict[str, Any]]) -> Dict[str, float]:
         node_count = int(nested["system"]["nodes"])
-        nodes = _fresh_nodes(cluster, node_count, per_node_budget_w)
+        nodes = fresh_nodes(cluster, node_count, cap_w=per_node_budget_w)
         runtime = ConductorRuntime(
-            power_budget_w=per_node_budget_w * node_count,
+            power_budget_w=(
+                per_node_budget_w * node_count
+                if per_node_budget_w is not None
+                else None
+            ),
             rebalance_interval=int(nested["runtime"]["rebalance_interval"]),
             step_fraction=float(nested["runtime"]["step_fraction"]),
         )
@@ -162,14 +157,21 @@ def cotune_hypre_conductor_rm(
     }
 
 
-def run_use_case(
+@register_use_case(
+    "uc1",
+    description="SLURM + Conductor + Hypre: capped-vs-uncapped sweep and cross-layer co-tuning",
+    budget_param="per_node_budget_w",
+    objective_metric="cotuned.best_metrics.throughput_jobs_per_hour",
+    minimize=False,
+)
+def experiment(
     n_nodes: int = 8,
-    per_node_budget_w: float = 280.0,
+    per_node_budget_w: Optional[float] = 280.0,
     max_evals: int = 25,
     seed: int = 1,
 ) -> Dict[str, Any]:
     """Run the full use case; returns sweep rows, winners, and co-tuning result."""
-    cluster = Cluster(ClusterSpec(n_nodes=n_nodes), seed=seed)
+    cluster = make_cluster(n_nodes, seed)
     sweep = hypre_sweep(cluster, nodes_per_job=min(4, n_nodes), per_node_budget_w=per_node_budget_w, seed=seed)
 
     def best(rows: List[Dict[str, Any]], key: str) -> Dict[str, Any]:
@@ -188,3 +190,19 @@ def run_use_case(
         "cotuned": cotuned,
         "per_node_budget_w": per_node_budget_w,
     }
+
+
+def run_use_case(
+    n_nodes: int = 8,
+    per_node_budget_w: Optional[float] = 280.0,
+    max_evals: int = 25,
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """Thin shim over the registered ``uc1`` campaign runner."""
+    return run_registered(
+        "uc1",
+        seed=seed,
+        n_nodes=n_nodes,
+        per_node_budget_w=per_node_budget_w,
+        max_evals=max_evals,
+    )

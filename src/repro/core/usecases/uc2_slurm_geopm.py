@@ -17,13 +17,15 @@ Two experiments:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.apps.base import SyntheticApplication, make_phase
 from repro.apps.generator import WorkloadGenerator
 from repro.apps.mpi import MpiJobSimulator
 from repro.core.stack import PowerStack, PowerStackConfig
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.experiments.registry import register_use_case, run_registered
+from repro.experiments.shared import make_cluster
+from repro.hardware.cluster import ClusterSpec
 from repro.resource_manager.policies import GeopmPolicyMode, SitePolicies
 from repro.resource_manager.slurm import SchedulerConfig
 from repro.runtime.geopm import GeopmPolicy, GeopmRuntime
@@ -43,7 +45,7 @@ def _imbalanced_app(n_iterations: int = 20) -> SyntheticApplication:
 
 def agent_comparison(
     n_nodes: int = 4,
-    per_node_budget_w: float = 280.0,
+    per_node_budget_w: Optional[float] = 280.0,
     seed: int = 2,
     n_iterations: int = 20,
 ) -> List[Dict[str, Any]]:
@@ -51,13 +53,16 @@ def agent_comparison(
     app = _imbalanced_app(n_iterations)
     rows: List[Dict[str, Any]] = []
     for agent in ("monitor", "power_governor", "power_balancer", "energy_efficient"):
-        cluster = Cluster(ClusterSpec(n_nodes=n_nodes), seed=seed)
+        cluster = make_cluster(n_nodes, seed)
         nodes = cluster.nodes[:n_nodes]
         # Production default: the performance governor (max frequency).  The
         # energy-efficient agent walks down from there; the power agents cap it.
-        for node in nodes:
-            node.set_frequency(node.spec.cpu.freq_max_ghz)
-        budget = per_node_budget_w * n_nodes if agent != "monitor" else None
+        cluster.state.set_node_frequencies(cluster.spec.node.cpu.freq_max_ghz)
+        budget = (
+            per_node_budget_w * n_nodes
+            if agent != "monitor" and per_node_budget_w is not None
+            else None
+        )
         policy = GeopmPolicy(agent=agent, power_budget_w=budget, perf_degradation=0.1)
         runtime = GeopmRuntime(policy=policy)
         # A deterministic, linearly spread decomposition imbalance so every
@@ -131,9 +136,16 @@ def policy_mode_comparison(
     return rows
 
 
-def run_use_case(
+@register_use_case(
+    "uc2",
+    description="SLURM + GEOPM: agent comparison under one budget and site-policy modes",
+    budget_param="per_node_budget_w",
+    objective_metric="balancer_speedup_over_governor",
+    minimize=False,
+)
+def experiment(
     n_nodes: int = 4,
-    per_node_budget_w: float = 280.0,
+    per_node_budget_w: Optional[float] = 280.0,
     seed: int = 2,
     n_iterations: int = 20,
     include_policy_modes: bool = True,
@@ -162,3 +174,21 @@ def run_use_case(
     if include_policy_modes:
         result["policy_modes"] = policy_mode_comparison(seed=seed)
     return result
+
+
+def run_use_case(
+    n_nodes: int = 4,
+    per_node_budget_w: Optional[float] = 280.0,
+    seed: int = 2,
+    n_iterations: int = 20,
+    include_policy_modes: bool = True,
+) -> Dict[str, Any]:
+    """Thin shim over the registered ``uc2`` campaign runner."""
+    return run_registered(
+        "uc2",
+        seed=seed,
+        n_nodes=n_nodes,
+        per_node_budget_w=per_node_budget_w,
+        n_iterations=n_iterations,
+        include_policy_modes=include_policy_modes,
+    )

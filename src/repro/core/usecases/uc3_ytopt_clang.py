@@ -20,7 +20,8 @@ from repro.compiler.plopper import Plopper
 from repro.core.constraints import ConstraintSet, MetricConstraint
 from repro.core.space import ParameterSpace
 from repro.core.tuner import Autotuner, TuningResult
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.experiments.registry import register_use_case, run_registered
+from repro.experiments.shared import make_cluster
 from repro.sim.rng import RandomStreams
 
 __all__ = ["run_use_case", "tune_kernel"]
@@ -35,7 +36,7 @@ def tune_kernel(
     power_cap_constraint: bool = False,
 ) -> TuningResult:
     """One ytopt tuning run (optionally under a node power cap)."""
-    cluster = Cluster(ClusterSpec(n_nodes=1), seed=seed)
+    cluster = make_cluster(1, seed)
     kernel = TileableKernel(n_iterations=2, base_seconds=4.0)
     plopper = Plopper(
         cluster.nodes[:1],
@@ -66,7 +67,14 @@ def tune_kernel(
     return tuner.run()
 
 
-def run_use_case(
+@register_use_case(
+    "uc3",
+    description="ytopt + Clang: autotune a tileable kernel uncapped vs under a power cap",
+    budget_param="node_power_cap_w",
+    objective_metric="capped.best_objective",
+    minimize=True,
+)
+def experiment(
     max_evals: int = 30,
     seed: int = 4,
     node_power_cap_w: float = 240.0,
@@ -77,7 +85,7 @@ def run_use_case(
     capped = tune_kernel(node_power_cap_w, max_evals=max_evals, seed=seed, search=search)
 
     # Cross-evaluate: how does each winner perform in the other regime?
-    cluster = Cluster(ClusterSpec(n_nodes=1), seed=seed)
+    cluster = make_cluster(1, seed)
     kernel = TileableKernel(n_iterations=2, base_seconds=4.0)
 
     def evaluate(config: Dict[str, Any], cap: Optional[float]) -> Dict[str, float]:
@@ -105,3 +113,19 @@ def run_use_case(
         "cross_evaluation": cross,
         "node_power_cap_w": node_power_cap_w,
     }
+
+
+def run_use_case(
+    max_evals: int = 30,
+    seed: int = 4,
+    node_power_cap_w: float = 240.0,
+    search: str = "forest",
+) -> Dict[str, Any]:
+    """Thin shim over the registered ``uc3`` campaign runner."""
+    return run_registered(
+        "uc3",
+        seed=seed,
+        max_evals=max_evals,
+        node_power_cap_w=node_power_cap_w,
+        search=search,
+    )

@@ -22,22 +22,14 @@ from typing import Any, Dict, Optional
 
 from repro.apps.espreso import EspresoFeti
 from repro.apps.mpi import MpiJobSimulator
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.experiments.registry import register_use_case, run_registered
+from repro.experiments.shared import fresh_nodes, make_cluster
+from repro.hardware.cluster import Cluster
 from repro.runtime.meric import MericRuntime, RegionConfig
 from repro.runtime.readex import AtpConstraint, AtpParameter, ReadexTuner
 from repro.sim.rng import RandomStreams
 
 __all__ = ["run_use_case", "design_time_analysis"]
-
-
-def _fresh_nodes(cluster: Cluster, count: int) -> list:
-    nodes = cluster.nodes[:count]
-    for node in nodes:
-        node.allocated_to = None
-        node.set_power_cap(None)
-        node.set_frequency(node.spec.cpu.freq_base_ghz)
-        node.set_uncore_frequency(node.spec.cpu.uncore_max_ghz)
-    return nodes
 
 
 def design_time_analysis(
@@ -48,7 +40,7 @@ def design_time_analysis(
     with_atp: bool = True,
 ):
     """Run the READEX design-time analysis and return the tuning model."""
-    nodes = _fresh_nodes(cluster, n_nodes)
+    nodes = fresh_nodes(cluster, n_nodes)
     app = EspresoFeti()
     atp_params = ()
     atp_constraints = ()
@@ -79,20 +71,26 @@ def design_time_analysis(
     return tuner.run_design_time_analysis(), tuner
 
 
-def run_use_case(
+@register_use_case(
+    "uc4",
+    description="READEX/MERIC + ESPRESO: design-time analysis vs default/static/dynamic production",
+    objective_metric="readex_dynamic.energy_j",
+    minimize=True,
+)
+def experiment(
     n_nodes: int = 2,
     seed: int = 5,
     objective: str = "energy_j",
     production_iterations: Optional[int] = 30,
 ) -> Dict[str, Any]:
     """Design-time analysis + production comparison (default / static / dynamic)."""
-    cluster = Cluster(ClusterSpec(n_nodes=max(n_nodes, 2)), seed=seed)
+    cluster = make_cluster(max(n_nodes, 2), seed)
     model, tuner = design_time_analysis(cluster, n_nodes=n_nodes, objective=objective, seed=seed)
     app = EspresoFeti()
     app_params = dict(model.application_params)
 
     def production_run(hooks, label: str) -> Dict[str, float]:
-        nodes = _fresh_nodes(cluster, n_nodes)
+        nodes = fresh_nodes(cluster, n_nodes)
         result = MpiJobSimulator.evaluate(
             nodes,
             app,
@@ -147,3 +145,19 @@ def run_use_case(
             dynamic["runtime_s"] / default["runtime_s"] - 1.0 if default["runtime_s"] > 0 else 0.0
         ),
     }
+
+
+def run_use_case(
+    n_nodes: int = 2,
+    seed: int = 5,
+    objective: str = "energy_j",
+    production_iterations: Optional[int] = 30,
+) -> Dict[str, Any]:
+    """Thin shim over the registered ``uc4`` campaign runner."""
+    return run_registered(
+        "uc4",
+        seed=seed,
+        n_nodes=n_nodes,
+        objective=objective,
+        production_iterations=production_iterations,
+    )

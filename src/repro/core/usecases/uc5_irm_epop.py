@@ -15,7 +15,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.apps.base import SyntheticApplication, make_phase
 from repro.apps.generator import JobRequest
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.experiments.registry import register_use_case, run_registered
+from repro.experiments.shared import make_cluster
 from repro.resource_manager.irm import CorridorStrategy, InvasiveResourceManager
 from repro.resource_manager.policies import SitePolicies
 from repro.resource_manager.slurm import SchedulerConfig
@@ -72,7 +73,7 @@ def run_strategy(
     control_interval_s: float = 20.0,
 ) -> Dict[str, Any]:
     """Replay the workload under one corridor-enforcement strategy."""
-    cluster = Cluster(ClusterSpec(n_nodes=n_nodes), seed=seed)
+    cluster = make_cluster(n_nodes, seed)
     env = Environment()
     lower, upper = corridor if corridor is not None else (None, None)
     policies = SitePolicies(
@@ -106,7 +107,13 @@ def run_strategy(
     }
 
 
-def run_use_case(
+@register_use_case(
+    "uc5",
+    description="IRM + EPOP: corridor enforcement strategies on a malleable workload",
+    objective_metric="violation_fractions.invasive",
+    minimize=True,
+)
+def experiment(
     n_nodes: int = 16,
     n_jobs: int = 6,
     iterations: int = 50,
@@ -146,3 +153,26 @@ def run_use_case(
             <= fractions[CorridorStrategy.NONE.value] + 1e-9
         )
     return results
+
+
+def run_use_case(
+    n_nodes: int = 16,
+    n_jobs: int = 6,
+    iterations: int = 50,
+    seed: int = 6,
+    strategies: Sequence[CorridorStrategy] = (
+        CorridorStrategy.NONE,
+        CorridorStrategy.POWER_CAPPING,
+        CorridorStrategy.DVFS,
+        CorridorStrategy.INVASIVE,
+    ),
+) -> Dict[str, Any]:
+    """Thin shim over the registered ``uc5`` campaign runner."""
+    return run_registered(
+        "uc5",
+        seed=seed,
+        n_nodes=n_nodes,
+        n_jobs=n_jobs,
+        iterations=iterations,
+        strategies=strategies,
+    )

@@ -18,7 +18,8 @@ from typing import Any, Dict, List
 
 from repro.apps.base import SyntheticApplication, make_phase
 from repro.apps.mpi import MpiJobSimulator
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.experiments.registry import register_use_case, run_registered
+from repro.experiments.shared import make_cluster
 from repro.runtime.countdown import CountdownMode, CountdownRuntime
 from repro.sim.rng import RandomStreams
 
@@ -51,7 +52,7 @@ def countdown_sweep(
     """Run one application under every COUNTDOWN mode."""
     rows: List[Dict[str, Any]] = []
     for mode in CountdownMode:
-        cluster = Cluster(ClusterSpec(n_nodes=n_nodes), seed=seed)
+        cluster = make_cluster(n_nodes, seed)
         nodes = cluster.nodes[:n_nodes]
         runtime = CountdownRuntime(mode=mode)
         result = MpiJobSimulator.evaluate(
@@ -79,7 +80,13 @@ def countdown_sweep(
     return rows
 
 
-def run_use_case(n_nodes: int = 4, seed: int = 7, n_iterations: int = 25) -> Dict[str, Any]:
+@register_use_case(
+    "uc6",
+    description="SLURM + COUNTDOWN: energy saving on MPI-heavy vs compute-bound apps",
+    objective_metric="summary.mpi_heavy_wait_and_copy_saving",
+    minimize=False,
+)
+def experiment(n_nodes: int = 4, seed: int = 7, n_iterations: int = 25) -> Dict[str, Any]:
     """Compare COUNTDOWN modes on MPI-heavy vs compute-bound applications."""
     results: Dict[str, Any] = {}
     for label, app in (
@@ -111,3 +118,8 @@ def run_use_case(n_nodes: int = 4, seed: int = 7, n_iterations: int = 25) -> Dic
         ),
     }
     return results
+
+
+def run_use_case(n_nodes: int = 4, seed: int = 7, n_iterations: int = 25) -> Dict[str, Any]:
+    """Thin shim over the registered ``uc6`` campaign runner."""
+    return run_registered("uc6", seed=seed, n_nodes=n_nodes, n_iterations=n_iterations)

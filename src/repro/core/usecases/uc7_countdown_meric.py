@@ -16,7 +16,8 @@ from typing import Any, Dict, Optional
 
 from repro.apps.base import SyntheticApplication, make_phase
 from repro.apps.mpi import MpiJobSimulator, RuntimeHooks
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.experiments.registry import register_use_case, run_registered
+from repro.experiments.shared import make_cluster
 from repro.runtime.coordination import RuntimeCoordinator
 from repro.runtime.countdown import CountdownMode, CountdownRuntime
 from repro.runtime.meric import MericRuntime, RegionConfig
@@ -52,7 +53,7 @@ def _run(
     n_iterations: int,
     static_imbalance: float,
 ) -> Dict[str, float]:
-    cluster = Cluster(ClusterSpec(n_nodes=n_nodes), seed=seed)
+    cluster = make_cluster(n_nodes, seed)
     nodes = cluster.nodes[:n_nodes]
     app = mixed_character_app(n_iterations)
     result = MpiJobSimulator.evaluate(
@@ -73,7 +74,13 @@ def _run(
     }
 
 
-def run_use_case(
+@register_use_case(
+    "uc7",
+    description="COUNTDOWN + MERIC coordinated by the runtime arbiter on one mixed app",
+    objective_metric="energy_savings.coordinated",
+    minimize=False,
+)
+def experiment(
     n_nodes: int = 4,
     seed: int = 8,
     n_iterations: int = 25,
@@ -115,3 +122,19 @@ def run_use_case(
         "coordinated_beats_individual": savings["coordinated"]
         >= max(savings["countdown"], savings["meric"]) - 0.02,
     }
+
+
+def run_use_case(
+    n_nodes: int = 4,
+    seed: int = 8,
+    n_iterations: int = 25,
+    static_imbalance: float = 0.2,
+) -> Dict[str, Any]:
+    """Thin shim over the registered ``uc7`` campaign runner."""
+    return run_registered(
+        "uc7",
+        seed=seed,
+        n_nodes=n_nodes,
+        n_iterations=n_iterations,
+        static_imbalance=static_imbalance,
+    )

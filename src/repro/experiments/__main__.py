@@ -1,0 +1,206 @@
+"""Command-line campaign driver: ``python -m repro.experiments``.
+
+Subcommands:
+
+* ``list`` — registered use cases with their defaults.
+* ``run`` — expand and run a campaign, print / write a JSON summary::
+
+      python -m repro.experiments run --uc all --seeds 3
+      python -m repro.experiments run --uc uc6,uc7 --seeds 2 \\
+          --param n_iterations=6 --executor process --json out.json
+      python -m repro.experiments run --uc uc1 --seed-list 1,2 \\
+          --budget-trace 0:280,900:220,1800:none
+
+``--param`` overrides apply to every selected use case that has that
+keyword (``--param uc3.max_evals=8`` targets one use case).  Seeds come
+from ``--seed-list`` verbatim, or are derived deterministically from
+``--base-seed`` (``--seeds N`` decorrelated seeds via SeedSequence).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.campaign import Campaign, derive_seeds
+from repro.experiments.registry import build_scenario, list_use_cases
+from repro.experiments.scenarios import BudgetTrace
+
+__all__ = ["main"]
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+    """``k=v`` / ``uc.k=v`` overrides → {use_case or "*": {key: value}}."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects NAME=VALUE, got {pair!r}")
+        target, dot, name = key.partition(".")
+        if dot:
+            out.setdefault(target, {})[name] = _parse_value(raw)
+        else:
+            out.setdefault("*", {})[key] = _parse_value(raw)
+    return out
+
+
+def _parse_trace(text: Optional[str]) -> Optional[BudgetTrace]:
+    """``t0:w0,t1:w1,...`` (watts ``none`` = uncapped) → BudgetTrace."""
+    if not text:
+        return None
+    times: List[float] = []
+    watts: List[Optional[float]] = []
+    for part in text.split(","):
+        t, sep, w = part.partition(":")
+        if not sep:
+            raise SystemExit(f"--budget-trace expects TIME:WATTS pairs, got {part!r}")
+        times.append(float(t))
+        watts.append(None if w.strip().lower() in ("none", "uncapped") else float(w))
+    return BudgetTrace(times_s=tuple(times), watts_per_node=tuple(watts))
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for defn in list_use_cases():
+        budget = f"  [budget: {defn.budget_param}]" if defn.budget_param else ""
+        print(f"{defn.name}: {defn.description}{budget}")
+        defaults = ", ".join(f"{k}={v!r}" for k, v in sorted(defn.defaults.items()))
+        print(f"    defaults: {defaults}")
+        direction = "min" if defn.minimize else "max"
+        print(f"    objective: {direction} {defn.objective_metric}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registered = {defn.name: defn for defn in list_use_cases()}
+    if args.uc.strip().lower() == "all":
+        selected = sorted(registered)
+    else:
+        selected = [name.strip() for name in args.uc.split(",") if name.strip()]
+        unknown = sorted(set(selected) - set(registered))
+        if unknown:
+            raise SystemExit(
+                f"unknown use case(s) {unknown}; registered: {sorted(registered)}"
+            )
+
+    if args.seed_list:
+        seeds = tuple(int(s) for s in args.seed_list.split(","))
+    else:
+        seeds = derive_seeds(args.base_seed, args.seeds)
+
+    overrides = _parse_params(args.param or [])
+    unknown_targets = sorted(set(overrides) - {"*"} - set(selected))
+    if unknown_targets:
+        raise SystemExit(
+            f"--param targets {unknown_targets} are not among the selected "
+            f"use cases {selected}"
+        )
+    # A global override must match at least one selected use case's
+    # keywords; a typo'd name silently running the campaign at defaults
+    # is worse than an error.
+    for key in overrides.get("*", {}):
+        if not any(key in registered[name].defaults for name in selected):
+            raise SystemExit(
+                f"--param {key!r} matches no parameter of the selected use "
+                f"cases {selected}"
+            )
+    trace = _parse_trace(args.budget_trace)
+    if trace is not None and not any(
+        registered[name].budget_param for name in selected
+    ):
+        raise SystemExit(
+            f"--budget-trace given but none of the selected use cases "
+            f"{selected} has a budget parameter"
+        )
+    scenarios = []
+    for name in selected:
+        defn = registered[name]
+        params = {
+            k: v for k, v in overrides.get("*", {}).items() if k in defn.defaults
+        }
+        params.update(overrides.get(name, {}))
+        scenarios.append(
+            build_scenario(
+                name,
+                params=params,
+                seeds=seeds,
+                budget_trace=trace if defn.budget_param else None,
+            )
+        )
+
+    campaign = Campaign(scenarios, name=args.name)
+    if not args.quiet:
+        print(
+            f"campaign {campaign.name!r}: {len(scenarios)} scenario(s) x "
+            f"{len(seeds)} seed(s) = {campaign.total_runs} runs "
+            f"[executor={args.executor}]",
+            file=sys.stderr,
+        )
+    result = campaign.run(executor=args.executor, max_workers=args.max_workers)
+    summary = result.summary()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if not args.quiet:
+            print(f"wrote {args.json}", file=sys.stderr)
+    if not args.quiet or not args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 1 if summary["n_failed"] else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run experiment campaigns over the paper's use cases.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered use cases").set_defaults(
+        func=_cmd_list
+    )
+
+    run = commands.add_parser("run", help="run a campaign")
+    run.add_argument("--uc", default="all", help="comma-separated use cases, or 'all'")
+    run.add_argument("--seeds", type=int, default=1, help="number of derived seeds")
+    run.add_argument("--base-seed", type=int, default=1, help="seed-derivation base")
+    run.add_argument("--seed-list", default="", help="explicit comma-separated seeds")
+    run.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "thread", "process"),
+        help="fan-out executor",
+    )
+    run.add_argument("--max-workers", type=int, default=None)
+    run.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="parameter override (NAME=VALUE for all selected, uc.NAME=VALUE for one)",
+    )
+    run.add_argument(
+        "--budget-trace",
+        default="",
+        metavar="T:W,...",
+        help="time-varying per-node budget trace (watts, 'none' = uncapped), "
+        "applied to use cases with a budget parameter",
+    )
+    run.add_argument("--name", default="campaign")
+    run.add_argument("--json", default="", help="write the JSON summary here")
+    run.add_argument("--quiet", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,342 @@
+"""Campaign runner: scenario×seed grids fanned out over executors.
+
+A :class:`Campaign` expands a list of :class:`ScenarioSpec` into one
+:class:`RunSpec` per (scenario, seed, budget-trace segment), evaluates
+them through the same pluggable executors the batched tuner uses
+(``serial`` / ``thread`` / ``process``), and captures every run into a
+columnar :class:`~repro.telemetry.database.PerformanceDatabase` tagged
+by use case, scenario, seed and segment.
+
+Determinism: every run builds its own
+:class:`~repro.sim.rng.RandomStreams` from the run's seed (SHA-256
+stream keys, process-stable), so a campaign is result-identical whether
+it runs in-process, on one worker, or fanned out over a process pool —
+only wall-clock changes.  :func:`derive_seeds` derives decorrelated
+per-run seeds from one base seed the same way in every process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.tuner import make_executor
+from repro.experiments.registry import get_use_case, scalar_metrics
+from repro.experiments.scenarios import ScenarioSpec
+from repro.telemetry.database import PerformanceDatabase
+
+__all__ = ["RunSpec", "RunResult", "Campaign", "CampaignResult", "derive_seeds"]
+
+
+def derive_seeds(base_seed: int, n: int) -> Tuple[int, ...]:
+    """``n`` decorrelated 64-bit seeds derived deterministically from one.
+
+    Uses :class:`numpy.random.SeedSequence`, so the expansion is identical
+    across processes and platforms — the campaign-level counterpart of the
+    per-component named streams inside a run.  The full 64-bit state is
+    kept (no folding) so duplicate seeds — which ``ScenarioSpec`` rejects
+    — stay out of reach of any realistic ``n``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    state = np.random.SeedSequence(int(base_seed)).generate_state(n, dtype=np.uint64)
+    return tuple(int(s) for s in state)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One planned experiment run: a scenario at one seed (and segment)."""
+
+    use_case: str
+    scenario: str
+    seed: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: Budget-trace segment index (None when the scenario has no trace).
+    segment: Optional[int] = None
+    #: Simulation time at which this segment's budget takes effect.
+    segment_start_s: Optional[float] = None
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "tags", dict(self.tags))
+
+    def payload(self) -> Dict[str, Any]:
+        """The picklable work item shipped to executor workers."""
+        return {
+            "use_case": self.use_case,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+
+@dataclass
+class RunResult:
+    """One completed run: the raw result plus its flattened metrics."""
+
+    spec: RunSpec
+    result: Optional[Dict[str, Any]]
+    metrics: Dict[str, float]
+    objective: float
+    feasible: bool
+    elapsed_s: float = 0.0
+    #: Failure diagnostics when the run raised (in-process executors only;
+    #: process workers cannot ship the message back — see run()).
+    error: Optional[str] = None
+
+
+def _execute_run(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one use case and time it.
+
+    Module-level so the ``process`` executor can ship it by import path;
+    the registry repopulates itself inside fresh worker processes.
+    """
+    start = time.perf_counter()
+    result = get_use_case(payload["use_case"]).run(
+        seed=payload["seed"], **payload["params"]
+    )
+    return {"result": result, "elapsed_s": time.perf_counter() - start}
+
+
+def _call_run(payload: Mapping[str, Any]) -> Tuple[Dict[str, Any], bool]:
+    """In-process wrapper matching the process-worker outcome shape."""
+    try:
+        return _execute_run(payload), False
+    except Exception as error:  # failures are campaign data, not crashes
+        return {"error": 1.0, "error_message": str(error)}, True
+
+
+class Campaign:
+    """Expand scenario×seed grids and fan the runs out over an executor."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        name: str = "campaign",
+        database: Optional[PerformanceDatabase] = None,
+    ):
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario names: {sorted(names)}")
+        # Validate every scenario against the registry up front: unknown
+        # use cases, bad parameter names and budget traces on budget-less
+        # use cases fail before any run starts.
+        for scenario in scenarios:
+            defn = get_use_case(scenario.use_case)
+            defn.validate_params(scenario.params)
+            if scenario.budget_trace is not None and defn.budget_param is None:
+                raise ValueError(
+                    f"scenario {scenario.name!r}: use case {scenario.use_case!r} "
+                    "has no budget parameter for a budget trace"
+                )
+        self.scenarios = scenarios
+        self.name = name
+        self.database = database if database is not None else PerformanceDatabase(name)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(s.n_runs for s in self.scenarios)
+
+    # -- planning ----------------------------------------------------------
+    def expand(self) -> List[RunSpec]:
+        """The full run grid: scenarios × seeds × budget-trace segments."""
+        specs: List[RunSpec] = []
+        for scenario in self.scenarios:
+            defn = get_use_case(scenario.use_case)
+            if scenario.budget_trace is None:
+                segments: List[Tuple[Optional[int], Optional[float], Dict[str, Any]]] = [
+                    (None, None, dict(scenario.params))
+                ]
+            else:
+                segments = []
+                for index, (start_s, watts) in enumerate(scenario.budget_trace.segments()):
+                    params = dict(scenario.params)
+                    params[defn.budget_param] = watts
+                    segments.append((index, start_s, params))
+            for seed in scenario.seeds:
+                for segment, start_s, params in segments:
+                    specs.append(
+                        RunSpec(
+                            use_case=scenario.use_case,
+                            scenario=scenario.name,
+                            seed=seed,
+                            params=params,
+                            segment=segment,
+                            segment_start_s=start_s,
+                            tags=dict(scenario.tags),
+                        )
+                    )
+        return specs
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self,
+        executor: Union[str, Any] = "serial",
+        max_workers: Optional[int] = None,
+        keep_results: bool = True,
+    ) -> "CampaignResult":
+        """Run the whole grid; returns the captured results.
+
+        ``executor`` is a :func:`~repro.core.tuner.make_executor` spec.
+        Results land in ``self.database`` (and in the returned result
+        object) in grid order regardless of the executor, so any two
+        executors produce identical databases for the same campaign.
+        ``keep_results=False`` drops the raw per-run payload dictionaries
+        after metric extraction (large campaigns, bounded memory).
+        """
+        specs = self.expand()
+        pool = make_executor(executor, max_workers=max_workers)
+        bind = getattr(pool, "bind_evaluator", None)
+        if bind is not None:
+            bind(_execute_run)
+        started = time.perf_counter()
+        try:
+            outcomes = pool.map(_call_run, [spec.payload() for spec in specs])
+        finally:
+            close = getattr(pool, "close", None)
+            if close is not None:
+                close()
+        elapsed = time.perf_counter() - started
+
+        runs: List[RunResult] = []
+        for spec, (value, failed) in zip(specs, outcomes):
+            defn = get_use_case(spec.use_case)
+            error: Optional[str] = None
+            if failed:
+                result: Optional[Dict[str, Any]] = None
+                # Normalised failure marker: the serial/thread path carries
+                # the exception message and the process path only a hash, so
+                # neither lands in the metrics — the database record must be
+                # identical whichever executor ran the campaign.
+                metrics = {"error": 1.0}
+                raw_message = value.get("error_message")
+                error = str(raw_message) if raw_message is not None else None
+                run_elapsed = 0.0
+            else:
+                result = value["result"]
+                metrics = scalar_metrics(result)
+                run_elapsed = float(value["elapsed_s"])
+            objective = metrics.get(defn.objective_metric)
+            feasible = (not failed) and objective is not None
+            if objective is None:
+                # Keep best-for queries sane in both directions.
+                objective = float("inf") if defn.minimize else float("-inf")
+            tags = {
+                "use_case": spec.use_case,
+                "scenario": spec.scenario,
+                "seed": str(spec.seed),
+                **spec.tags,
+            }
+            if spec.segment is not None:
+                tags["segment"] = str(spec.segment)
+            self.database.add_evaluation(
+                config={**spec.params, "seed": spec.seed},
+                metrics=metrics,
+                objective=float(objective),
+                elapsed_s=run_elapsed,
+                feasible=feasible,
+                **tags,
+            )
+            runs.append(
+                RunResult(
+                    spec=spec,
+                    result=result if keep_results else None,
+                    metrics=metrics,
+                    objective=float(objective),
+                    feasible=feasible,
+                    elapsed_s=run_elapsed,
+                    error=error,
+                )
+            )
+        return CampaignResult(
+            name=self.name, runs=runs, database=self.database, elapsed_s=elapsed
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All runs of one campaign plus the columnar capture."""
+
+    name: str
+    runs: List[RunResult]
+    database: PerformanceDatabase
+    elapsed_s: float
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat per-run rows for cross-seed aggregation / tabulation."""
+        out = []
+        for run in self.runs:
+            row: Dict[str, Any] = {
+                "use_case": run.spec.use_case,
+                "scenario": run.spec.scenario,
+                "seed": run.spec.seed,
+                "feasible": run.feasible,
+                "objective": run.objective,
+                "metrics": dict(run.metrics),
+            }
+            if run.spec.segment is not None:
+                row["segment"] = run.spec.segment
+            out.append(row)
+        return out
+
+    def aggregate(
+        self, group_keys: Sequence[str] = ("use_case", "scenario")
+    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Cross-seed mean/std/min/max of every metric, per group.
+
+        Failed runs are excluded: one crashed seed must not erase the
+        statistics of the seeds that succeeded (the reducer intersects
+        metric keys across a group's runs).
+        """
+        from repro.analysis.reporting import aggregate_across_seeds
+
+        rows = [row for row in self.rows() if row["feasible"]]
+        return aggregate_across_seeds(rows, group_keys=group_keys)
+
+    def best(self, use_case: str, **tag_filters: str):
+        """Best *feasible* record for a use case (its registered direction).
+
+        Returns None when every matching run failed — never a failed
+        run's ±inf placeholder record.
+        """
+        defn = get_use_case(use_case)
+        pool = self.database.where(feasible=True, use_case=use_case, **tag_filters)
+        if not pool:
+            return None
+        key = min if defn.minimize else max
+        return key(pool, key=lambda record: record.objective)
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-serialisable campaign report (what the CLI emits)."""
+        runs = []
+        for run in self.runs:
+            entry: Dict[str, Any] = {
+                "use_case": run.spec.use_case,
+                "scenario": run.spec.scenario,
+                "seed": run.spec.seed,
+                "objective": run.objective,
+                "feasible": run.feasible,
+                "elapsed_s": run.elapsed_s,
+            }
+            if run.spec.segment is not None:
+                entry["segment"] = run.spec.segment
+                entry["segment_start_s"] = run.spec.segment_start_s
+            runs.append(entry)
+        return {
+            "campaign": self.name,
+            "n_runs": len(self.runs),
+            "n_failed": sum(1 for run in self.runs if not run.feasible),
+            "elapsed_s": self.elapsed_s,
+            "use_cases": sorted({run.spec.use_case for run in self.runs}),
+            "runs": runs,
+            "aggregates": self.aggregate(),
+        }

@@ -1,0 +1,142 @@
+"""Declarative experiment scenarios.
+
+A :class:`ScenarioSpec` is the unit a campaign plans with: which use
+case to run, with which parameter overrides, over which seeds, and —
+the scenario axis the static use cases cannot express — under which
+*time-varying* per-node power budget (:class:`BudgetTrace`).  Specs are
+plain frozen data with validation and ``to_dict``/``from_dict`` round
+tripping, so campaigns can be written down as JSON, shipped to worker
+processes, and reproduced later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BudgetTrace", "ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class BudgetTrace:
+    """A piecewise-constant per-node power-budget schedule.
+
+    ``times_s[i]`` is the simulation time at which ``watts_per_node[i]``
+    takes effect; the budget holds until the next breakpoint.  ``None``
+    entries mean "uncapped" during that segment — a green-energy style
+    schedule (cap hard when grid power is scarce, uncap when renewables
+    are plentiful) is one of these traces.
+    """
+
+    times_s: Tuple[float, ...]
+    watts_per_node: Tuple[Optional[float], ...]
+
+    def __post_init__(self) -> None:
+        times = tuple(float(t) for t in self.times_s)
+        watts = tuple(None if w is None else float(w) for w in self.watts_per_node)
+        if not times:
+            raise ValueError("a budget trace needs at least one breakpoint")
+        if len(times) != len(watts):
+            raise ValueError("times_s and watts_per_node must have equal length")
+        if times[0] != 0.0:
+            raise ValueError("the first breakpoint must be at time 0")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("breakpoints must be strictly increasing")
+        if any(w is not None and w <= 0 for w in watts):
+            raise ValueError("budgets must be positive (or None for uncapped)")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "watts_per_node", watts)
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def value_at(self, time_s: float) -> Optional[float]:
+        """The per-node budget in force at ``time_s`` (None = uncapped)."""
+        if time_s < 0:
+            raise ValueError("time_s must be >= 0")
+        index = int(np.searchsorted(self.times_s, time_s, side="right")) - 1
+        return self.watts_per_node[index]
+
+    def segments(self) -> Tuple[Tuple[float, Optional[float]], ...]:
+        """``(start_time_s, watts)`` pairs, one per trace segment."""
+        return tuple(zip(self.times_s, self.watts_per_node))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "times_s": list(self.times_s),
+            "watts_per_node": list(self.watts_per_node),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BudgetTrace":
+        return cls(
+            times_s=tuple(data["times_s"]),
+            watts_per_node=tuple(data["watts_per_node"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment scenario.
+
+    ``params`` override the registered use case's defaults (unknown keys
+    are rejected at campaign-build time, where the registry is
+    available).  ``seeds`` is the multi-seed axis; ``budget_trace`` adds
+    the time-varying power-budget axis — the campaign runs the scenario
+    once per trace segment with that segment's budget installed in the
+    use case's budget parameter.
+    """
+
+    use_case: str
+    name: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seeds: Sequence[int] = (1,)
+    budget_trace: Optional[BudgetTrace] = None
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.use_case or not isinstance(self.use_case, str):
+            raise ValueError("use_case must be a non-empty string")
+        object.__setattr__(self, "name", str(self.name) or self.use_case)
+        object.__setattr__(self, "params", dict(self.params))
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ValueError("a scenario needs at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise ValueError(f"duplicate seeds in {seeds!r}")
+        object.__setattr__(self, "seeds", seeds)
+        object.__setattr__(
+            self, "tags", {str(k): str(v) for k, v in dict(self.tags).items()}
+        )
+
+    @property
+    def n_runs(self) -> int:
+        """Planned runs: seeds × trace segments (1 segment when no trace)."""
+        segments = len(self.budget_trace) if self.budget_trace is not None else 1
+        return len(self.seeds) * segments
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "use_case": self.use_case,
+            "name": self.name,
+            "params": dict(self.params),
+            "seeds": list(self.seeds),
+            "tags": dict(self.tags),
+        }
+        if self.budget_trace is not None:
+            data["budget_trace"] = self.budget_trace.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        trace = data.get("budget_trace")
+        return cls(
+            use_case=data["use_case"],
+            name=data.get("name", ""),
+            params=data.get("params", {}),
+            seeds=tuple(data.get("seeds", (1,))),
+            budget_trace=BudgetTrace.from_dict(trace) if trace is not None else None,
+            tags=data.get("tags", {}),
+        )

@@ -1,0 +1,60 @@
+"""Shared experiment plumbing the seven use-case modules used to copy.
+
+Every use case needs the same two setup moves: build a seeded cluster,
+and hand an experiment a set of freshly reset nodes.  Both live here
+once; the reset goes through the vectorised
+:meth:`~repro.hardware.cluster.Cluster.reset_nodes` kernel so the
+free/busy mask and power-cap bookkeeping can never desync from the
+per-node attributes (the failure mode of the old per-use-case
+``_fresh_nodes`` copies that assigned ``node.allocated_to`` directly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.node import Node
+
+__all__ = ["make_cluster", "fresh_nodes"]
+
+
+def make_cluster(
+    n_nodes: int, seed: int, spec: Optional[ClusterSpec] = None
+) -> Cluster:
+    """Build the standard seeded experiment cluster.
+
+    The single replacement for the ``Cluster(ClusterSpec(n_nodes=...),
+    seed=...)`` boilerplate: same construction, so seeded clusters are
+    bit-identical to the historical per-use-case copies.
+    """
+    return Cluster(spec if spec is not None else ClusterSpec(n_nodes=n_nodes), seed=seed)
+
+
+def fresh_nodes(
+    cluster: Cluster,
+    count: int,
+    cap_w: Optional[float] = None,
+    freq_ghz: Optional[float] = None,
+    uncore_ghz: Optional[float] = None,
+) -> List[Node]:
+    """The first ``count`` nodes, reset for a fresh experiment run.
+
+    Allocation cleared, power cap set to ``cap_w`` (``None`` uncaps) and
+    core/uncore frequencies restored (base / max by default) — all
+    through :meth:`Cluster.reset_nodes`, i.e. through ``ClusterState``.
+
+    ``count`` beyond the cluster truncates to the whole cluster, the
+    ``cluster.nodes[:count]`` semantics every historical experiment
+    relied on (uc1's co-tuner deliberately proposes node counts larger
+    than small test clusters and expects the run to proceed on what
+    exists).
+    """
+    return cluster.reset_nodes(
+        np.arange(min(int(count), len(cluster.nodes))),
+        cap_w=cap_w,
+        freq_ghz=freq_ghz,
+        uncore_ghz=uncore_ghz,
+    )

@@ -253,6 +253,59 @@ class Cluster:
         value = np.nan if per_node_watts is None else float(per_node_watts)
         self.apply_power_caps(np.full(len(self.nodes), value))
 
+    def apply_budget_trace(self, trace, time_s: float) -> np.ndarray:
+        """Enforce a time-varying per-node budget at simulation time ``time_s``.
+
+        ``trace`` is a :class:`~repro.experiments.scenarios.BudgetTrace`
+        (or anything with a ``value_at(time_s)`` returning per-node watts,
+        ``None`` meaning uncapped).  The cap lands through the vectorised
+        :meth:`apply_power_caps` path, so the campaign's time-varying
+        budget axis shares all bookkeeping with the static cap policies.
+        """
+        watts = trace.value_at(time_s)
+        value = np.nan if watts is None else float(watts)
+        return self.apply_power_caps(np.full(len(self.nodes), value))
+
+    # -- experiment reset ------------------------------------------------------
+    def reset_nodes(
+        self,
+        indices=None,
+        cap_w: Optional[float] = None,
+        freq_ghz: Optional[float] = None,
+        uncore_ghz: Optional[float] = None,
+    ) -> List[Node]:
+        """Release + re-cap + re-clock a set of nodes for a fresh experiment run.
+
+        The one replacement for the per-use-case ``_fresh_nodes`` hacks:
+        allocation is cleared through the ``Node.allocated_to`` setter
+        (which keeps ``ClusterState.node_free`` in sync, so the free/busy
+        mask can never desync from the per-node attribute), the power cap
+        lands through the vectorised :meth:`apply_power_caps`, and
+        frequencies through the batched DVFS kernels.  ``Node.release()``
+        is deliberately not used: it also resets the node's instantaneous
+        power draw, which the historical experiment reset never did.
+        ``freq_ghz``/``uncore_ghz`` default to the base core frequency and
+        the maximum uncore frequency — the historical experiment starting
+        point.  Returns the reset ``Node`` objects in index order.
+        """
+        if indices is None:
+            indices = np.arange(len(self.nodes))
+        indices = np.asarray(indices, dtype=int)
+        nodes = [self.nodes[int(i)] for i in indices]
+        for node in nodes:
+            node.allocated_to = None
+        caps = self.state.node_power_cap_w.copy()
+        caps[indices] = np.nan if cap_w is None else float(cap_w)
+        self.apply_power_caps(caps)
+        cpu = self.spec.node.cpu
+        self.state.set_node_frequencies(
+            cpu.freq_base_ghz if freq_ghz is None else float(freq_ghz), indices
+        )
+        self.state.set_node_uncore_frequencies(
+            cpu.uncore_max_ghz if uncore_ghz is None else float(uncore_ghz), indices
+        )
+        return nodes
+
     def summary(self) -> Dict[str, float]:
         """A small dictionary of headline cluster facts (for reports)."""
         return {

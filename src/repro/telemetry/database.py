@@ -267,6 +267,25 @@ class PerformanceDatabase:
             curve = np.maximum.accumulate(values)
         return curve.tolist()
 
+    def merge(self, other: "PerformanceDatabase") -> "PerformanceDatabase":
+        """Append every record of ``other`` (campaign shard consolidation).
+
+        Records keep their order within each database; ``other`` is
+        unchanged.  Returns ``self`` for chaining.
+        """
+        for record in other._records:
+            self.add(record)
+        return self
+
+    def tag_values(self, key: str) -> List[str]:
+        """Distinct values recorded for a tag key, sorted.
+
+        Served from the inverted tag index — this is how campaign reports
+        enumerate the use cases / scenarios / seeds present in a capture
+        without scanning records.
+        """
+        return sorted({value for k, value in self._tag_index if k == key})
+
     # -- lookup of historically good configurations ------------------------
     def _tag_indices(self, tag_filters: Mapping[str, str]) -> np.ndarray:
         """Ascending record indices matching all tag filters (via the index)."""

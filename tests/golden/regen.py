@@ -1,0 +1,62 @@
+"""Regenerate the golden use-case outputs checked in under ``tests/golden/``.
+
+The seven ``run_use_case`` shims must reproduce these dictionaries
+bit-for-bit at the pinned seed/parameters (see
+``tests/test_experiments_golden.py``).  The files were captured from the
+pre-campaign-refactor implementations; regenerate only when a PR
+*deliberately* changes experiment semantics, and say so in the PR:
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core import usecases
+
+#: Scaled-down parameter pins shared by regen and the golden test.
+GOLDEN_CASES = {
+    "uc1": dict(n_nodes=4, per_node_budget_w=280.0, max_evals=6, seed=1),
+    "uc2": dict(
+        n_nodes=4, per_node_budget_w=280.0, seed=1, n_iterations=10,
+        include_policy_modes=False,
+    ),
+    "uc3": dict(max_evals=8, seed=1, node_power_cap_w=240.0, search="random"),
+    "uc4": dict(n_nodes=2, seed=1, objective="energy_j", production_iterations=6),
+    "uc5": dict(n_nodes=8, n_jobs=2, iterations=6, seed=1),
+    "uc6": dict(n_nodes=2, seed=1, n_iterations=8),
+    "uc7": dict(n_nodes=2, seed=1, n_iterations=8),
+}
+
+
+def jsonify(value):
+    """Normalise an experiment result for exact JSON round-tripping."""
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return jsonify(value.item())
+    return str(value)
+
+
+def main() -> None:
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    for name, params in GOLDEN_CASES.items():
+        runner = getattr(usecases, f"run_{name}")
+        result = jsonify(runner(**params))
+        path = os.path.join(out_dir, f"{name}_seed1.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Golden regression: the ``run_use_case`` shims reproduce the
+pre-campaign-refactor results bit-for-bit.
+
+The JSON files under ``tests/golden/`` were captured from the
+implementations *before* the use cases were rebased onto the
+``repro.experiments`` subsystem (shared cluster builder, vectorised
+``Cluster.reset_nodes``, registry dispatch).  Any numeric drift here
+means the refactor changed experiment semantics — regenerate the
+goldens only for a deliberate, documented change
+(``PYTHONPATH=src python tests/golden/regen.py``).
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.core import usecases
+
+_GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location(
+        "golden_regen", os.path.join(_GOLDEN_DIR, "regen.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_REGEN = _load_regen()
+
+
+@pytest.mark.parametrize("name", sorted(_REGEN.GOLDEN_CASES))
+def test_use_case_shim_matches_pre_refactor_golden(name):
+    params = _REGEN.GOLDEN_CASES[name]
+    with open(os.path.join(_GOLDEN_DIR, f"{name}_seed1.json"), encoding="utf-8") as fh:
+        golden = json.load(fh)
+    runner = getattr(usecases, f"run_{name}")
+    fresh = json.loads(json.dumps(_REGEN.jsonify(runner(**params))))
+    assert fresh == golden, (
+        f"{name} shim output drifted from the pre-refactor golden; "
+        "see tests/golden/regen.py"
+    )

@@ -1,0 +1,156 @@
+"""Perf — multi-tenant ask/tell tuning through the control-plane service.
+
+N tenants drive concurrent ask/tell tuning sessions through the full
+envelope wire path (JSON request line → dispatch → JSON response line)
+against a :class:`StackService` backed by the 4-shard performance
+database, and again against a single-shard service.  Recorded:
+
+* **service.runs_per_sec** — evaluations told per second end-to-end
+  through the wire (the service's headline throughput number);
+* **shard fan-in query latency** — ``best_for`` (per-tenant) and
+  ``aggregate`` answered by the sharded store vs one merged flat
+  database over the same records;
+* **parity** — the sharded answers are asserted bit-identical to the
+  merged database's (the acceptance contract), and the sharded capture
+  holds every told evaluation.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import banner, record_perf, run_once
+
+from repro.service import ServiceClient, StackService
+
+N_TENANTS = 8
+ROUNDS = 5
+BATCH = 16
+SPACE = {
+    "x": list(range(16)),
+    "y": [0.125 * i for i in range(16)],
+    "z": [1, 2, 4, 8],
+}
+QUERY_REPEATS = 50
+
+
+def drive_tenant(service: StackService, tenant: str) -> int:
+    """One tenant's full session: open, ask/tell rounds, close."""
+    client = ServiceClient(service)  # own client: the wire is per-caller
+    session = client.open_session(tenant, role="runtime")
+    tuner = session.result(
+        "tuning.open", parameters=SPACE, search="random", batch_size=BATCH
+    )
+    told = 0
+    for _ in range(ROUNDS):
+        asked = session.result("tuning.ask", tuner_id=tuner["tuner_id"])
+        if not asked["configs"]:
+            break
+        results = [
+            {
+                "config": config,
+                "objective": (config["x"] - 7) ** 2 + config["y"] * config["z"],
+                "metrics": {"runtime_s": 1.0 + config["x"]},
+            }
+            for config in asked["configs"]
+        ]
+        told += session.result(
+            "tuning.tell", tuner_id=tuner["tuner_id"], results=results
+        )["recorded"]
+    session.close()
+    return told
+
+
+def run_workload(n_shards: int, seed: int) -> dict:
+    service = StackService(n_nodes=4, seed=seed, n_shards=n_shards)
+    tenants = [f"tenant{i}" for i in range(N_TENANTS)]
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_TENANTS) as pool:
+        told = sum(pool.map(lambda t: drive_tenant(service, t), tenants))
+    wall = time.perf_counter() - start
+    return {"service": service, "told": told, "wall_s": wall, "tenants": tenants}
+
+
+def time_queries(database, tenants) -> dict:
+    start = time.perf_counter()
+    for _ in range(QUERY_REPEATS):
+        for tenant in tenants:
+            database.best_for(tenant=tenant)
+    best_for_us = (
+        (time.perf_counter() - start) / (QUERY_REPEATS * len(tenants)) * 1e6
+    )
+    start = time.perf_counter()
+    for _ in range(QUERY_REPEATS):
+        database.aggregate()
+    aggregate_us = (time.perf_counter() - start) / QUERY_REPEATS * 1e6
+    return {"best_for_us": best_for_us, "aggregate_us": aggregate_us}
+
+
+def run_benchmark():
+    sharded_run = run_workload(n_shards=4, seed=7)
+    single_run = run_workload(n_shards=1, seed=7)
+
+    sharded_db = sharded_run["service"].database
+    merged = sharded_db.merged("merged-reference")
+    tenants = sharded_run["tenants"]
+
+    # Acceptance parity: sharded answers == merged flat database answers.
+    parity = (
+        all(
+            sharded_db.best_for(tenant=tenant) == merged.best_for(tenant=tenant)
+            for tenant in tenants
+        )
+        and sharded_db.top_k(25) == merged.top_k(25)
+        and sharded_db.aggregate() == merged.aggregate()
+        and sharded_db.aggregate(feasible_only=True)
+        == merged.aggregate(feasible_only=True)
+    )
+    sharded_queries = time_queries(sharded_db, tenants)
+    merged_queries = time_queries(merged, tenants)
+
+    sizes = sharded_db.shard_sizes()
+    return {
+        "n_tenants": N_TENANTS,
+        "evaluations": sharded_run["told"],
+        "wall_s": sharded_run["wall_s"],
+        "runs_per_sec": sharded_run["told"] / sharded_run["wall_s"],
+        "runs_per_sec_single_shard": single_run["told"] / single_run["wall_s"],
+        "capture_complete": len(sharded_db) == sharded_run["told"],
+        "parity_sharded_vs_merged": parity,
+        "shard_sizes": sizes,
+        "shards_used": sum(1 for s in sizes if s),
+        "best_for_us_sharded": sharded_queries["best_for_us"],
+        "best_for_us_merged": merged_queries["best_for_us"],
+        "aggregate_us_sharded": sharded_queries["aggregate_us"],
+        "aggregate_us_merged": merged_queries["aggregate_us"],
+    }
+
+
+def test_perf_service(benchmark):
+    stats = run_once(benchmark, run_benchmark)
+    banner(
+        f"Perf: control-plane service — {stats['n_tenants']} concurrent "
+        f"tenants, {stats['evaluations']} ask/tell evaluations over the wire"
+    )
+    print(
+        f"throughput {stats['runs_per_sec']:.0f} evals/sec (4 shards) vs "
+        f"{stats['runs_per_sec_single_shard']:.0f} evals/sec (1 shard); "
+        f"shard sizes {stats['shard_sizes']}"
+    )
+    print(
+        f"fan-in query latency: best_for {stats['best_for_us_sharded']:.1f} us "
+        f"(merged {stats['best_for_us_merged']:.1f} us), aggregate "
+        f"{stats['aggregate_us_sharded']:.1f} us "
+        f"(merged {stats['aggregate_us_merged']:.1f} us)"
+    )
+    print(
+        f"parity sharded==merged: {stats['parity_sharded_vs_merged']}, "
+        f"capture complete: {stats['capture_complete']}"
+    )
+    path = record_perf("service", {k: stats[k] for k in sorted(stats)})
+    print(f"recorded -> {path}")
+
+    assert stats["parity_sharded_vs_merged"]
+    assert stats["capture_complete"]
+    assert stats["evaluations"] == N_TENANTS * ROUNDS * BATCH
+    # Tenant keys must actually spread the load across the shards.
+    assert stats["shards_used"] >= 2

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -136,6 +137,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         )
 
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
     campaign = Campaign(scenarios, name=args.name)
     if not args.quiet:
         print(
@@ -145,6 +148,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     result = campaign.run(executor=args.executor, max_workers=args.max_workers)
+    if args.out_dir:
+        # One PerformanceDatabase JSON shard per scenario: these files are
+        # loadable with PerformanceDatabase.load and compose with the
+        # sharded multi-tenant store behind `repro.service`.
+        for scenario in campaign.scenarios:
+            shard = result.database.filter(
+                lambda record, name=scenario.name: record.tags.get("scenario") == name
+            )
+            path = os.path.join(args.out_dir, f"{scenario.name}.json")
+            shard.save(path)
+            if not args.quiet:
+                print(f"wrote {path} ({len(shard)} records)", file=sys.stderr)
     summary = result.summary()
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -195,6 +210,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     run.add_argument("--name", default="campaign")
     run.add_argument("--json", default="", help="write the JSON summary here")
+    run.add_argument(
+        "--out-dir",
+        default="",
+        help="save one PerformanceDatabase JSON shard per scenario here",
+    )
     run.add_argument("--quiet", action="store_true")
     run.set_defaults(func=_cmd_run)
 

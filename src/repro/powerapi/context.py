@@ -340,6 +340,16 @@ class PowerApiContext:
         path = obj.path
         return any(path == p or path.startswith(p + "/") for p in self._scope_prefixes)
 
+    def in_scope(self, path_or_obj) -> bool:
+        """Whether an object lies inside this context's write scope.
+
+        Public counterpart of the check :meth:`write` applies, so batch
+        operations (the control-plane service's vectorised power-cap
+        commands) can enforce the same scope without issuing per-object
+        writes.
+        """
+        return self._in_scope(self._resolve(path_or_obj))
+
     # -- navigation ---------------------------------------------------------
     def object(self, path: str) -> PowerObject:
         """Resolve an absolute path (rooted at the platform object)."""

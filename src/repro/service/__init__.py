@@ -1,0 +1,44 @@
+"""Versioned control-plane service API over the whole stack.
+
+The paper's standardised-interfaces thesis applied to our own public
+surface: one transport-agnostic :class:`StackService` speaks typed,
+JSON-round-trippable request/response envelopes to every layer — Power
+API attribute get/set, scheduler job control, runtime power budgets,
+ask/tell tuning sessions, experiment campaigns — under multi-tenant
+sessions with role enforcement, deterministic RNG streams and
+evaluation quotas, capturing all results in a tenant-sharded
+performance database.
+
+Run ``python -m repro.service`` for the JSON-lines driver / REPL, or use
+:class:`ServiceClient` in-process.
+"""
+
+from repro.service.client import ServiceCallError, ServiceClient, SessionHandle
+from repro.service.envelopes import (
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    ServiceError,
+    ServiceErrorCode,
+)
+from repro.service.service import (
+    EVALUATOR_REGISTRY,
+    Session,
+    StackService,
+    register_evaluator,
+)
+
+__all__ = [
+    "EVALUATOR_REGISTRY",
+    "PROTOCOL_VERSION",
+    "Request",
+    "Response",
+    "ServiceCallError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceErrorCode",
+    "Session",
+    "SessionHandle",
+    "StackService",
+    "register_evaluator",
+]

@@ -1,0 +1,102 @@
+"""In-process client for :class:`~repro.service.service.StackService`.
+
+The client always talks *wire*: every call serialises its request
+envelope to JSON, hands the JSON line to the service, and parses the
+JSON line that comes back.  There is no in-process fast path — so any
+command that works here works identically through a socket/HTTP
+front-end, and a test driving the client has exercised the full
+dict → wire → dict round trip by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Mapping, Optional
+
+from repro.service.envelopes import Request, Response
+from repro.service.service import StackService
+
+__all__ = ["ServiceClient", "SessionHandle", "ServiceCallError"]
+
+
+class ServiceCallError(RuntimeError):
+    """Raised by the raising helpers when a command answers with an error."""
+
+    def __init__(self, response: Response):
+        error = response.error or {}
+        super().__init__(f"{error.get('code')}: {error.get('message')}")
+        self.response = response
+        self.code = error.get("code")
+
+
+class ServiceClient:
+    """Talks JSON lines to a service instance (or any compatible callable)."""
+
+    def __init__(self, service: StackService):
+        self.service = service
+        self._request_ids = itertools.count(1)
+
+    def call(
+        self,
+        op: str,
+        session: Optional[str] = None,
+        **args: Any,
+    ) -> Response:
+        """Send one command; returns the parsed :class:`Response`."""
+        request = Request(
+            op=op,
+            args=args,
+            session=session,
+            request_id=f"r{next(self._request_ids)}",
+        )
+        wire_out = request.to_json()
+        wire_in = self.service.handle_wire(wire_out)
+        return Response.from_json(wire_in)
+
+    def result(self, op: str, session: Optional[str] = None, **args: Any) -> Any:
+        """Like :meth:`call` but unwraps the result, raising on error."""
+        response = self.call(op, session=session, **args)
+        if not response.ok:
+            raise ServiceCallError(response)
+        return response.result
+
+    def open_session(
+        self,
+        tenant: str,
+        role: str = "monitor",
+        quota: Optional[int] = None,
+        scope_hostnames: Optional[list] = None,
+    ) -> "SessionHandle":
+        args: Dict[str, Any] = {"tenant": tenant, "role": role}
+        if quota is not None:
+            args["quota"] = quota
+        if scope_hostnames is not None:
+            args["scope_hostnames"] = scope_hostnames
+        info = self.result("session.open", **args)
+        return SessionHandle(self, info["session"], info)
+
+
+class SessionHandle:
+    """One open session: every call carries the session id automatically."""
+
+    def __init__(self, client: ServiceClient, session_id: str, info: Mapping[str, Any]):
+        self.client = client
+        self.session_id = session_id
+        self.info = dict(info)
+
+    def call(self, op: str, **args: Any) -> Response:
+        return self.client.call(op, session=self.session_id, **args)
+
+    def result(self, op: str, **args: Any) -> Any:
+        return self.client.result(op, session=self.session_id, **args)
+
+    def close(self) -> Any:
+        return self.result("session.close")
+
+    def __enter__(self) -> "SessionHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Closing an already-closed session is a NO_SESSION error — fine
+        # to ignore on context exit.
+        self.call("session.close")

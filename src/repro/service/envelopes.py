@@ -1,0 +1,255 @@
+"""Typed, JSON-round-trippable request/response envelopes.
+
+The control plane's wire format: every command enters the stack as a
+:class:`Request` and leaves it as a :class:`Response`, both plain frozen
+dataclasses that convert losslessly to/from dictionaries and JSON lines.
+The envelopes carry a protocol version (checked on dispatch), a caller
+request id (echoed back verbatim, so an async client can correlate), an
+optional session id, and — on failure — a structured error with a spec
+style code instead of a raised exception.
+
+Error codes extend the Power API's (:class:`repro.powerapi.context.ErrorCode`):
+power-plane failures keep their exact ``PWR_RET_*`` values on the wire,
+service-plane failures use a parallel ``SVC_RET_*`` namespace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.powerapi.context import ErrorCode as PowerErrorCode
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServiceErrorCode",
+    "ServiceError",
+    "Request",
+    "Response",
+    "jsonify",
+]
+
+#: Wire protocol version.  Major mismatch is rejected with
+#: ``SVC_RET_UNSUPPORTED_PROTOCOL``; minor revisions are compatible.
+PROTOCOL_VERSION = "1.0"
+
+
+class ServiceErrorCode(str, Enum):
+    """Structured error codes carried by failure responses.
+
+    The first block mirrors :class:`~repro.powerapi.context.ErrorCode`
+    value-for-value: a role-denied power command answers with the *same*
+    code the ``PowerApiContext`` would raise, just wrapped in an envelope
+    instead of an exception.
+    """
+
+    NOT_IMPLEMENTED = PowerErrorCode.NOT_IMPLEMENTED.value
+    NO_PERMISSION = PowerErrorCode.NO_PERMISSION.value
+    BAD_VALUE = PowerErrorCode.BAD_VALUE.value
+    NO_OBJECT = PowerErrorCode.NO_OBJECT.value
+    OUT_OF_SCOPE = PowerErrorCode.OUT_OF_SCOPE.value
+
+    UNSUPPORTED_PROTOCOL = "SVC_RET_UNSUPPORTED_PROTOCOL"
+    UNKNOWN_COMMAND = "SVC_RET_UNKNOWN_COMMAND"
+    BAD_REQUEST = "SVC_RET_BAD_REQUEST"
+    NO_SESSION = "SVC_RET_NO_SESSION"
+    NO_JOB = "SVC_RET_NO_JOB"
+    NO_TUNER = "SVC_RET_NO_TUNER"
+    QUOTA_EXCEEDED = "SVC_RET_QUOTA_EXCEEDED"
+    INTERNAL = "SVC_RET_INTERNAL"
+
+
+class ServiceError(RuntimeError):
+    """A failed service command with its structured error code.
+
+    Raised internally by command handlers; the dispatcher converts it to
+    a failure :class:`Response` — it never escapes the facade.
+    """
+
+    def __init__(self, code: ServiceErrorCode, message: str):
+        super().__init__(f"{code.value}: {message}")
+        self.code = code
+        self.message = message
+
+
+def jsonify(value: Any) -> Any:
+    """Deep-convert a result payload to plain JSON types.
+
+    Handlers return whatever is natural (numpy scalars, arrays, tuples);
+    the envelope layer normalises so ``to_json`` → ``from_json`` is an
+    identity on every response the service emits.
+    """
+    if isinstance(value, (str, type(None))):
+        return value
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonify(v) for v in value]
+    raise TypeError(f"result payload of type {type(value).__name__} is not wire-safe")
+
+
+def _require_str(data: Mapping[str, Any], key: str, default: Optional[str] = None) -> str:
+    value = data.get(key, default)
+    if not isinstance(value, str) or not value:
+        raise ServiceError(
+            ServiceErrorCode.BAD_REQUEST, f"envelope field {key!r} must be a non-empty string"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class Request:
+    """One command envelope: operation, arguments, session, correlation id."""
+
+    op: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+    session: Optional[str] = None
+    request_id: str = "0"
+    protocol: str = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", dict(self.args))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "protocol": self.protocol,
+            "op": self.op,
+            "args": jsonify(self.args),
+            "request_id": self.request_id,
+        }
+        if self.session is not None:
+            out["session"] = self.session
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Request":
+        if not isinstance(data, Mapping):
+            raise ServiceError(ServiceErrorCode.BAD_REQUEST, "request must be an object")
+        args = data.get("args", {})
+        if not isinstance(args, Mapping):
+            raise ServiceError(ServiceErrorCode.BAD_REQUEST, "'args' must be an object")
+        session = data.get("session")
+        if session is not None and not isinstance(session, str):
+            raise ServiceError(ServiceErrorCode.BAD_REQUEST, "'session' must be a string")
+        unknown = sorted(set(data) - {"protocol", "op", "args", "session", "request_id"})
+        if unknown:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST, f"unknown envelope field(s) {unknown}"
+            )
+        return cls(
+            op=_require_str(data, "op"),
+            args=dict(args),
+            session=session,
+            request_id=str(data.get("request_id", "0")),
+            protocol=_require_str(data, "protocol", default=PROTOCOL_VERSION),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Request":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST, f"request is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class Response:
+    """The answer envelope: result on success, structured error on failure."""
+
+    ok: bool
+    result: Any = None
+    #: ``{"code": ..., "message": ...}`` when ``ok`` is false.
+    error: Optional[Mapping[str, str]] = None
+    request_id: str = "0"
+    session: Optional[str] = None
+    protocol: str = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.error is not None:
+            object.__setattr__(self, "error", dict(self.error))
+
+    @classmethod
+    def success(cls, result: Any, request: Optional[Request] = None) -> "Response":
+        return cls(
+            ok=True,
+            result=jsonify(result),
+            request_id=request.request_id if request is not None else "0",
+            session=request.session if request is not None else None,
+        )
+
+    @classmethod
+    def failure(
+        cls,
+        code: ServiceErrorCode,
+        message: str,
+        request: Optional[Request] = None,
+    ) -> "Response":
+        return cls(
+            ok=False,
+            error={"code": code.value, "message": str(message)},
+            request_id=request.request_id if request is not None else "0",
+            session=request.session if request is not None else None,
+        )
+
+    @property
+    def error_code(self) -> Optional[str]:
+        return None if self.error is None else self.error.get("code")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "protocol": self.protocol,
+            "ok": self.ok,
+            "request_id": self.request_id,
+        }
+        if self.session is not None:
+            out["session"] = self.session
+        if self.ok:
+            out["result"] = jsonify(self.result)
+        else:
+            out["error"] = dict(self.error or {})
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Response":
+        return cls(
+            ok=bool(data["ok"]),
+            result=data.get("result"),
+            error=data.get("error"),
+            request_id=str(data.get("request_id", "0")),
+            session=data.get("session"),
+            protocol=str(data.get("protocol", PROTOCOL_VERSION)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Response":
+        return cls.from_dict(json.loads(text))
+
+
+def protocol_compatible(protocol: str) -> Tuple[bool, str]:
+    """Whether a request's protocol version is servable (major must match)."""
+    ours = PROTOCOL_VERSION.split(".", 1)[0]
+    theirs = protocol.split(".", 1)[0]
+    return theirs == ours, ours

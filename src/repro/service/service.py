@@ -1,0 +1,1420 @@
+"""The control-plane facade: one versioned service over every stack layer.
+
+:class:`StackService` is the transport-agnostic entry point the paper's
+argument calls for — the layers of the stack (site → resource manager →
+job runtime → node hardware) reachable through *one* standardised,
+role-checked command surface instead of per-subsystem Python APIs.
+Commands arrive as typed :class:`~repro.service.envelopes.Request`
+envelopes and leave as :class:`~repro.service.envelopes.Response`
+envelopes; failures are structured error codes, never exceptions through
+the facade.
+
+Sessions are first-class and multi-tenant: :meth:`StackService.handle`
+dispatches every command under the session's Power API
+:class:`~repro.powerapi.roles.Role` (the same permission matrix
+``PowerApiContext`` enforces — a role-denied command answers with the
+same ``PWR_RET_*`` code the context would raise), a deterministic
+per-tenant RNG stream seeds the session's tuning searches, and an
+optional evaluation quota bounds what one tenant can spend.
+
+Batch commands ride the vectorised kernels: one ``power.set_caps``
+envelope for an index array of nodes lands in a single
+:meth:`~repro.hardware.cluster.Cluster.apply_power_caps` pass, and every
+result — ask/tell tuning telemetry, served autotuning runs, whole
+campaigns — is captured in a
+:class:`~repro.telemetry.sharding.ShardedPerformanceDatabase` routed by
+tenant/session key.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.apps.generator import JobRequest
+from repro.apps.hypre import HypreLaplacian
+from repro.apps.kernels import TileableKernel
+from repro.apps.lulesh import LuleshProxy
+from repro.apps.stream import DgemmKernel, StreamTriad
+from repro.core.objectives import PENALTY_OBJECTIVE
+from repro.core.search.base import SearchAlgorithm, make_search
+from repro.core.space import ParameterSpace
+from repro.core.tuner import BatchAutotuner
+from repro.experiments.campaign import Campaign
+from repro.experiments.registry import build_scenario, list_use_cases
+from repro.experiments.shared import make_cluster
+from repro.hardware.cluster import Cluster
+from repro.powerapi.context import PowerApiContext, PowerApiError
+from repro.powerapi.objects import AttrName, ObjType
+from repro.powerapi.roles import Role
+from repro.resource_manager.job import JobState
+from repro.resource_manager.slurm import PowerAwareScheduler, SchedulerConfig
+from repro.runtime.base import JobRuntime
+from repro.service.envelopes import (
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    ServiceError,
+    ServiceErrorCode,
+    protocol_compatible,
+)
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+from repro.telemetry.database import PerformanceDatabase, objective_stats
+from repro.telemetry.sharding import ShardedPerformanceDatabase
+
+__all__ = [
+    "StackService",
+    "Session",
+    "CommandSpec",
+    "ArgSpec",
+    "EVALUATOR_REGISTRY",
+    "register_evaluator",
+]
+
+
+# ---------------------------------------------------------------------------
+# served evaluators (for tuning.run, which drives a BatchAutotuner here)
+# ---------------------------------------------------------------------------
+def quadratic_evaluator(config: Mapping[str, Any]) -> Dict[str, float]:
+    """Sum of squared distances of numeric parameters from 1.0."""
+    value = sum(
+        (float(v) - 1.0) ** 2
+        for v in config.values()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    )
+    return {"runtime_s": 0.1 + value}
+
+
+def linear_evaluator(config: Mapping[str, Any]) -> Dict[str, float]:
+    """Sum of numeric parameter values (smaller is better)."""
+    value = sum(
+        float(v)
+        for v in config.values()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    )
+    return {"runtime_s": 0.1 + abs(value)}
+
+
+#: Named evaluators ``tuning.run`` may execute service-side.  Module-level
+#: functions, so the batched tuner's process executor could ship them.
+EVALUATOR_REGISTRY: Dict[str, Callable[[Mapping[str, Any]], Mapping[str, float]]] = {
+    "quadratic": quadratic_evaluator,
+    "linear": linear_evaluator,
+}
+
+
+def register_evaluator(
+    name: str, evaluator: Callable[[Mapping[str, Any]], Mapping[str, float]]
+) -> None:
+    """Register a named evaluator for ``tuning.run`` commands."""
+    EVALUATOR_REGISTRY[str(name)] = evaluator
+
+
+#: Applications the ``jobs.submit`` envelope can instantiate by kind.
+_APP_BUILDERS: Dict[str, Callable[..., Application]] = {
+    "stream": StreamTriad,
+    "dgemm": DgemmKernel,
+    "hypre": HypreLaplacian,
+    "lulesh": LuleshProxy,
+    "kernel": TileableKernel,
+}
+
+
+def _build_application(spec: Any) -> Application:
+    if isinstance(spec, str):
+        spec = {"kind": spec}
+    if not isinstance(spec, Mapping) or "kind" not in spec:
+        raise ServiceError(
+            ServiceErrorCode.BAD_REQUEST,
+            "'app' must be a kind name or an object with a 'kind' field",
+        )
+    kind = spec["kind"]
+    builder = _APP_BUILDERS.get(kind)
+    if builder is None:
+        raise ServiceError(
+            ServiceErrorCode.BAD_REQUEST,
+            f"unknown application kind {kind!r}; available: {sorted(_APP_BUILDERS)}",
+        )
+    kwargs = {k: v for k, v in spec.items() if k != "kind"}
+    try:
+        return builder(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise ServiceError(
+            ServiceErrorCode.BAD_REQUEST, f"bad application spec for {kind!r}: {error}"
+        ) from error
+
+
+# ---------------------------------------------------------------------------
+# command metadata (the typed part of the envelopes)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArgSpec:
+    """One declared command argument: name, wire kind, required flag."""
+
+    name: str
+    kind: str = "any"  # str | int | number | bool | list | dict | any
+    required: bool = False
+    doc: str = ""
+
+
+_KIND_CHECKS: Dict[str, Callable[[Any], bool]] = {
+    "str": lambda v: isinstance(v, str),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "bool": lambda v: isinstance(v, bool),
+    "list": lambda v: isinstance(v, list),
+    "dict": lambda v: isinstance(v, Mapping),
+    "any": lambda v: True,
+}
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """A dispatchable command: handler plus its typed argument contract."""
+
+    op: str
+    handler: Callable[..., Any]
+    doc: str
+    args: Tuple[ArgSpec, ...] = ()
+    requires_session: bool = True
+
+    def validate_args(self, given: Mapping[str, Any]) -> Dict[str, Any]:
+        known = {spec.name: spec for spec in self.args}
+        unknown = sorted(set(given) - set(known))
+        if unknown:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"{self.op}: unknown argument(s) {unknown}; "
+                f"accepted: {sorted(known)}",
+            )
+        missing = sorted(
+            spec.name for spec in self.args if spec.required and spec.name not in given
+        )
+        if missing:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"{self.op}: missing required argument(s) {missing}",
+            )
+        for name, value in given.items():
+            spec = known[name]
+            if value is not None and not _KIND_CHECKS[spec.kind](value):
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    f"{self.op}: argument {name!r} must be of kind {spec.kind!r}",
+                )
+        return dict(given)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "doc": self.doc,
+            "requires_session": self.requires_session,
+            "args": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "required": spec.required,
+                    "doc": spec.doc,
+                }
+                for spec in self.args
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+@dataclass
+class _TuningState:
+    """One open ask/tell tuning exchange inside a session."""
+
+    tuner_id: str
+    space: ParameterSpace
+    search: SearchAlgorithm
+    minimize: bool
+    batch_size: int
+    seed: int
+    told: int = 0
+
+
+@dataclass
+class Session:
+    """One tenant's handle on the service."""
+
+    session_id: str
+    tenant: str
+    role: Role
+    context: PowerApiContext
+    streams: RandomStreams
+    quota: Optional[int] = None
+    used_evaluations: int = 0
+    tuners: Dict[str, _TuningState] = field(default_factory=dict)
+    _tuner_counter: int = 0
+
+    def charge(self, evaluations: int) -> None:
+        """Spend quota; structured error when the budget would overrun."""
+        if self.quota is not None and self.used_evaluations + evaluations > self.quota:
+            raise ServiceError(
+                ServiceErrorCode.QUOTA_EXCEEDED,
+                f"session {self.session_id!r} quota exhausted: "
+                f"{self.used_evaluations}/{self.quota} used, {evaluations} requested",
+            )
+        self.used_evaluations += evaluations
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "session": self.session_id,
+            "tenant": self.tenant,
+            "role": self.role.value,
+            "quota": self.quota,
+            "used_evaluations": self.used_evaluations,
+            "open_tuners": sorted(self.tuners),
+            "rng_seed": self.streams.seed,
+        }
+
+
+#: Roles allowed to drive the shared DES clock / whole-machine actions.
+_OPERATOR_ROLES = (Role.RESOURCE_MANAGER, Role.ADMINISTRATOR)
+#: Roles whose database queries see every tenant (site-wide read).
+_SITE_READ_ROLES = (Role.MONITOR, Role.ADMINISTRATOR)
+#: Read-only actor roles: telemetry only, no state mutation anywhere.
+_READ_ONLY_ROLES = (Role.APPLICATION, Role.MONITOR)
+
+
+class StackService:
+    """Versioned multi-tenant control plane over the whole stack."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        n_nodes: int = 8,
+        seed: int = 0,
+        n_shards: int = 4,
+        default_quota: Optional[int] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+    ):
+        self.cluster = cluster if cluster is not None else make_cluster(n_nodes, seed)
+        self.seed = int(seed)
+        self.env = Environment()
+        self.scheduler = PowerAwareScheduler(
+            self.env,
+            self.cluster,
+            config=scheduler_config,
+            streams=RandomStreams(seed).spawn("service-scheduler"),
+        )
+        self.database = ShardedPerformanceDatabase(n_shards=n_shards, name="service")
+        self.default_quota = default_quota
+        self._streams = RandomStreams(seed)
+        self._admin_context = PowerApiContext.for_cluster(
+            self.cluster, role=Role.ADMINISTRATOR
+        )
+        self._node_index = {
+            node.hostname: index for index, node in enumerate(self.cluster.nodes)
+        }
+        self._sessions: Dict[str, Session] = {}
+        self._session_counter = 0
+        self._tenant_counters: Dict[str, int] = {}
+        self._job_counter = 0
+        self._run_counter = 0
+        #: One facade, many tenants: dispatch is serialised, so concurrent
+        #: clients (threads, a real server front-end) can share the service.
+        self._lock = threading.RLock()
+        self._commands = self._build_commands()
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Dispatch one envelope.  Never raises: failures are responses."""
+        with self._lock:
+            try:
+                compatible, ours = protocol_compatible(request.protocol)
+                if not compatible:
+                    raise ServiceError(
+                        ServiceErrorCode.UNSUPPORTED_PROTOCOL,
+                        f"protocol {request.protocol!r} not served "
+                        f"(this service speaks {PROTOCOL_VERSION})",
+                    )
+                spec = self._commands.get(request.op)
+                if spec is None:
+                    raise ServiceError(
+                        ServiceErrorCode.UNKNOWN_COMMAND,
+                        f"unknown command {request.op!r}; "
+                        f"see service.describe for the command list",
+                    )
+                args = spec.validate_args(request.args)
+                if spec.requires_session:
+                    session = self._session_of(request)
+                    result = spec.handler(session, **args)
+                else:
+                    result = spec.handler(**args)
+                return Response.success(result, request=request)
+            except ServiceError as error:
+                return Response.failure(error.code, error.message, request=request)
+            except PowerApiError as error:
+                return Response.failure(
+                    ServiceErrorCode(error.code.value), str(error), request=request
+                )
+            except ValueError as error:
+                return Response.failure(
+                    ServiceErrorCode.BAD_VALUE, str(error), request=request
+                )
+            except Exception as error:  # the facade never raises
+                return Response.failure(
+                    ServiceErrorCode.INTERNAL,
+                    f"{type(error).__name__}: {error}",
+                    request=request,
+                )
+
+    def handle_dict(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Dict → dict dispatch (what a JSON transport calls)."""
+        try:
+            request = Request.from_dict(payload)
+        except ServiceError as error:
+            return Response.failure(error.code, error.message).to_dict()
+        return self.handle(request).to_dict()
+
+    def handle_wire(self, line: str) -> str:
+        """One JSON line in, one JSON line out (the stdin driver's path)."""
+        try:
+            request = Request.from_json(line)
+        except ServiceError as error:
+            return Response.failure(error.code, error.message).to_json()
+        return self.handle(request).to_json()
+
+    def _session_of(self, request: Request) -> Session:
+        if request.session is None:
+            raise ServiceError(
+                ServiceErrorCode.NO_SESSION,
+                f"command {request.op!r} requires a session "
+                "(open one with session.open)",
+            )
+        session = self._sessions.get(request.session)
+        if session is None:
+            raise ServiceError(
+                ServiceErrorCode.NO_SESSION,
+                f"unknown or closed session {request.session!r}",
+            )
+        return session
+
+    # -- command table -----------------------------------------------------
+    def _build_commands(self) -> Dict[str, CommandSpec]:
+        specs = [
+            CommandSpec(
+                "service.ping",
+                self._cmd_ping,
+                "Liveness probe; echoes the payload.",
+                (ArgSpec("payload", "any", doc="echoed back verbatim"),),
+                requires_session=False,
+            ),
+            CommandSpec(
+                "service.describe",
+                self._cmd_describe,
+                "Protocol version, command catalogue, cluster and shard facts.",
+                (),
+                requires_session=False,
+            ),
+            CommandSpec(
+                "session.open",
+                self._cmd_session_open,
+                "Open a tenant session carrying a Power API role, an RNG "
+                "stream and an evaluation quota.",
+                (
+                    ArgSpec("tenant", "str", required=True),
+                    ArgSpec("role", "str", doc="Power API role (default monitor)"),
+                    ArgSpec("quota", "int", doc="max chargeable evaluations"),
+                    ArgSpec("scope_hostnames", "list", doc="restrict writes to these nodes"),
+                ),
+                requires_session=False,
+            ),
+            CommandSpec("session.info", self._cmd_session_info, "Session facts.", ()),
+            CommandSpec("session.close", self._cmd_session_close, "Close this session.", ()),
+            CommandSpec(
+                "power.read",
+                self._cmd_power_read,
+                "Read one attribute of one power object (role-checked).",
+                (
+                    ArgSpec("path", "str", required=True),
+                    ArgSpec("attr", "str", required=True),
+                ),
+            ),
+            CommandSpec(
+                "power.write",
+                self._cmd_power_write,
+                "Write one attribute of one power object (role- and scope-checked).",
+                (
+                    ArgSpec("path", "str", required=True),
+                    ArgSpec("attr", "str", required=True),
+                    ArgSpec("value", "number", required=True),
+                ),
+            ),
+            CommandSpec(
+                "power.read_group",
+                self._cmd_power_read_group,
+                "Read one attribute across every in-scope object of a type.",
+                (
+                    ArgSpec("obj_type", "str", required=True),
+                    ArgSpec("attr", "str", required=True),
+                ),
+            ),
+            CommandSpec(
+                "power.snapshot",
+                self._cmd_power_snapshot,
+                "Every readable attribute of every in-scope object.",
+                (),
+            ),
+            CommandSpec(
+                "power.set_caps",
+                self._cmd_power_set_caps,
+                "Batch node power caps: one envelope, one vectorised "
+                "apply_power_caps pass (watts null uncaps).",
+                (
+                    ArgSpec("indices", "list", doc="node indices"),
+                    ArgSpec("hostnames", "list", doc="node hostnames"),
+                    ArgSpec("watts", "any", required=True, doc="scalar, per-node list, or null"),
+                ),
+            ),
+            CommandSpec(
+                "power.set_frequencies",
+                self._cmd_power_set_frequencies,
+                "Batch node core-frequency targets through the vectorised "
+                "DVFS kernel.",
+                (
+                    ArgSpec("indices", "list"),
+                    ArgSpec("hostnames", "list"),
+                    ArgSpec("ghz", "any", required=True, doc="scalar or per-node list"),
+                ),
+            ),
+            CommandSpec(
+                "jobs.submit",
+                self._cmd_jobs_submit,
+                "Submit a job to the power-aware scheduler.",
+                (
+                    ArgSpec("app", "any", required=True, doc="application kind or spec"),
+                    ArgSpec("nodes", "int"),
+                    ArgSpec("params", "dict", doc="application parameters"),
+                    ArgSpec("walltime_s", "number"),
+                    ArgSpec("ranks_per_node", "int"),
+                    ArgSpec("job_id", "str"),
+                    ArgSpec("nodes_min", "int"),
+                    ArgSpec("nodes_max", "int"),
+                    ArgSpec("malleable", "bool"),
+                ),
+            ),
+            CommandSpec(
+                "jobs.query",
+                self._cmd_jobs_query,
+                "State and accounting of one job.",
+                (ArgSpec("job_id", "str", required=True),),
+            ),
+            CommandSpec("jobs.list", self._cmd_jobs_list, "All jobs and their states.", ()),
+            CommandSpec(
+                "jobs.cancel",
+                self._cmd_jobs_cancel,
+                "Cancel a pending or running job (owner or operator roles).",
+                (ArgSpec("job_id", "str", required=True),),
+            ),
+            CommandSpec(
+                "jobs.run",
+                self._cmd_jobs_run,
+                "Drive the simulated cluster until all submitted jobs finish "
+                "(operator roles).",
+                (ArgSpec("extra_time_s", "number"),),
+            ),
+            CommandSpec(
+                "jobs.advance",
+                self._cmd_jobs_advance,
+                "Advance the simulated clock by a fixed duration (operator roles).",
+                (ArgSpec("duration_s", "number", required=True),),
+            ),
+            CommandSpec("jobs.stats", self._cmd_jobs_stats, "Scheduler statistics.", ()),
+            CommandSpec(
+                "runtime.report",
+                self._cmd_runtime_report,
+                "Job-runtime telemetry reported up the stack.",
+                (ArgSpec("job_id", "str", required=True),),
+            ),
+            CommandSpec(
+                "runtime.request_power",
+                self._cmd_runtime_request_power,
+                "Ask the RM for additional job power (§3.1.1).",
+                (
+                    ArgSpec("job_id", "str", required=True),
+                    ArgSpec("watts", "number", required=True),
+                ),
+            ),
+            CommandSpec(
+                "runtime.return_power",
+                self._cmd_runtime_return_power,
+                "Declare unused job power the RM may reclaim (§3.1.1).",
+                (
+                    ArgSpec("job_id", "str", required=True),
+                    ArgSpec("watts", "number", required=True),
+                ),
+            ),
+            CommandSpec(
+                "tuning.open",
+                self._cmd_tuning_open,
+                "Open an ask/tell tuning exchange over a parameter space.",
+                (
+                    ArgSpec("parameters", "dict", required=True, doc="{name: [values]}"),
+                    ArgSpec("search", "str"),
+                    ArgSpec("batch_size", "int"),
+                    ArgSpec("minimize", "bool"),
+                    ArgSpec("seed", "int", doc="override the session-derived seed"),
+                ),
+            ),
+            CommandSpec(
+                "tuning.ask",
+                self._cmd_tuning_ask,
+                "Next batch of configurations to evaluate.",
+                (
+                    ArgSpec("tuner_id", "str", required=True),
+                    ArgSpec("n", "int"),
+                ),
+            ),
+            CommandSpec(
+                "tuning.tell",
+                self._cmd_tuning_tell,
+                "Report evaluated configurations (charged against the quota); "
+                "results land in the sharded performance database.",
+                (
+                    ArgSpec("tuner_id", "str", required=True),
+                    ArgSpec("results", "list", required=True),
+                ),
+            ),
+            CommandSpec(
+                "tuning.best",
+                self._cmd_tuning_best,
+                "Best recorded configuration of one tuning exchange.",
+                (ArgSpec("tuner_id", "str", required=True),),
+            ),
+            CommandSpec(
+                "tuning.close",
+                self._cmd_tuning_close,
+                "Close a tuning exchange.",
+                (ArgSpec("tuner_id", "str", required=True),),
+            ),
+            CommandSpec(
+                "tuning.run",
+                self._cmd_tuning_run,
+                "Run a whole batched autotuning loop service-side against a "
+                "registered evaluator.",
+                (
+                    ArgSpec("parameters", "dict", required=True),
+                    ArgSpec("evaluator", "str", required=True),
+                    ArgSpec("search", "str"),
+                    ArgSpec("max_evals", "int"),
+                    ArgSpec("batch_size", "int"),
+                    ArgSpec("cache_evaluations", "bool"),
+                    ArgSpec("seed", "int"),
+                ),
+            ),
+            CommandSpec(
+                "campaign.run",
+                self._cmd_campaign_run,
+                "Run an experiment campaign; every run is charged and captured.",
+                (
+                    ArgSpec("scenarios", "list", required=True),
+                    ArgSpec("executor", "str"),
+                    ArgSpec("max_workers", "int"),
+                    ArgSpec("name", "str"),
+                ),
+            ),
+            CommandSpec(
+                "db.best_for",
+                self._cmd_db_best_for,
+                "Best record matching tag filters (tenant-scoped unless a "
+                "site-read role).",
+                (
+                    ArgSpec("tags", "dict"),
+                    ArgSpec("minimize", "bool"),
+                ),
+            ),
+            CommandSpec(
+                "db.top_k",
+                self._cmd_db_top_k,
+                "The k best records visible to this session.",
+                (
+                    ArgSpec("k", "int", required=True),
+                    ArgSpec("minimize", "bool"),
+                ),
+            ),
+            CommandSpec(
+                "db.aggregate",
+                self._cmd_db_aggregate,
+                "Objective summary statistics over visible records.",
+                (ArgSpec("feasible_only", "bool"),),
+            ),
+            CommandSpec(
+                "db.where",
+                self._cmd_db_where,
+                "Record selection by feasibility, objective range and tags.",
+                (
+                    ArgSpec("feasible", "bool"),
+                    ArgSpec("min_objective", "number"),
+                    ArgSpec("max_objective", "number"),
+                    ArgSpec("tags", "dict"),
+                ),
+            ),
+            CommandSpec(
+                "db.stats",
+                self._cmd_db_stats,
+                "Shard layout and record counts.",
+                (),
+            ),
+        ]
+        return {spec.op: spec for spec in specs}
+
+    # -- service/session commands -----------------------------------------
+    def _cmd_ping(self, payload: Any = None) -> Dict[str, Any]:
+        return {"pong": True, "time_s": self.env.now, "payload": payload}
+
+    def _cmd_describe(self) -> Dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "commands": [spec.describe() for spec in self._commands.values()],
+            "roles": [role.value for role in Role],
+            "evaluators": sorted(EVALUATOR_REGISTRY),
+            "use_cases": [defn.name for defn in list_use_cases()],
+            "database": {
+                "n_shards": self.database.n_shards,
+                "shard_key_tags": list(self.database.shard_key_tags),
+            },
+            "cluster": self.cluster.summary(),
+        }
+
+    def _cmd_session_open(
+        self,
+        tenant: str,
+        role: str = Role.MONITOR.value,
+        quota: Optional[int] = None,
+        scope_hostnames: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        try:
+            resolved = Role(role)
+        except ValueError:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"unknown role {role!r}; valid: {[r.value for r in Role]}",
+            ) from None
+        scope_paths = None
+        if scope_hostnames is not None:
+            root = self._admin_context.root.name
+            unknown = sorted(set(scope_hostnames) - set(self._node_index))
+            if unknown:
+                raise ServiceError(
+                    ServiceErrorCode.NO_OBJECT, f"unknown hostname(s) {unknown}"
+                )
+            scope_paths = [f"{root}/{hostname}" for hostname in scope_hostnames]
+        context = PowerApiContext(
+            self._admin_context.root, role=resolved, scope_paths=scope_paths
+        )
+        self._session_counter += 1
+        ordinal = self._tenant_counters.get(tenant, 0) + 1
+        self._tenant_counters[tenant] = ordinal
+        session_id = f"s{self._session_counter:04d}-{tenant}"
+        # Deterministic per-tenant stream: the same tenant opening its
+        # n-th session always gets the same RNG, whatever other tenants do.
+        streams = self._streams.spawn(f"tenant:{tenant}").spawn(f"session:{ordinal}")
+        session = Session(
+            session_id=session_id,
+            tenant=tenant,
+            role=resolved,
+            context=context,
+            streams=streams,
+            quota=quota if quota is not None else self.default_quota,
+        )
+        self._sessions[session_id] = session
+        return session.info()
+
+    def _cmd_session_info(self, session: Session) -> Dict[str, Any]:
+        return session.info()
+
+    def _cmd_session_close(self, session: Session) -> Dict[str, Any]:
+        self._sessions.pop(session.session_id, None)
+        return {"closed": True, "used_evaluations": session.used_evaluations}
+
+    # -- power plane -------------------------------------------------------
+    @staticmethod
+    def _attr(name: str) -> AttrName:
+        try:
+            return AttrName(name)
+        except ValueError:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"unknown attribute {name!r}; valid: {[a.value for a in AttrName]}",
+            ) from None
+
+    def _cmd_power_read(self, session: Session, path: str, attr: str) -> Dict[str, Any]:
+        value = session.context.read(path, self._attr(attr))
+        return {"path": path, "attr": attr, "value": value}
+
+    def _cmd_power_write(
+        self, session: Session, path: str, attr: str, value: float
+    ) -> Dict[str, Any]:
+        applied = session.context.write(path, self._attr(attr), float(value))
+        return {"path": path, "attr": attr, "applied": applied}
+
+    def _cmd_power_read_group(
+        self, session: Session, obj_type: str, attr: str
+    ) -> Dict[str, Any]:
+        try:
+            resolved = ObjType(obj_type)
+        except ValueError:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"unknown object type {obj_type!r}; valid: {[t.value for t in ObjType]}",
+            ) from None
+        attribute = self._attr(attr)
+        group = session.context.group(f"{obj_type}s", resolved)
+        # Per-member reads go through the context so the role check (and
+        # its error code) is identical to single-object power.read.
+        return {
+            "attr": attr,
+            "values": {obj.path: session.context.read(obj, attribute) for obj in group},
+        }
+
+    def _cmd_power_snapshot(self, session: Session) -> Dict[str, Any]:
+        return session.context.snapshot()
+
+    def _resolve_node_indices(
+        self,
+        indices: Optional[Sequence[int]],
+        hostnames: Optional[Sequence[str]],
+    ) -> np.ndarray:
+        if (indices is None) == (hostnames is None):
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                "exactly one of 'indices' and 'hostnames' must be given",
+            )
+        targets = hostnames if hostnames is not None else indices
+        if not targets:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST, "the target node list must not be empty"
+            )
+        if hostnames is not None:
+            unknown = sorted(set(hostnames) - set(self._node_index))
+            if unknown:
+                raise ServiceError(
+                    ServiceErrorCode.NO_OBJECT, f"unknown hostname(s) {unknown}"
+                )
+            return np.asarray([self._node_index[h] for h in hostnames], dtype=int)
+        out = []
+        for index in indices:
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST, "'indices' must be integers"
+                )
+            if not 0 <= index < len(self.cluster.nodes):
+                raise ServiceError(
+                    ServiceErrorCode.NO_OBJECT,
+                    f"node index {index} out of range (cluster has "
+                    f"{len(self.cluster.nodes)} nodes)",
+                )
+            out.append(index)
+        return np.asarray(out, dtype=int)
+
+    @staticmethod
+    def _watt_value(value: Any, field: str) -> float:
+        """A cap/frequency scalar off the wire: number or null, never bool."""
+        if value is None:
+            return np.nan
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"{field!r} entries must be numbers (or null to uncap)",
+            )
+        return float(value)
+
+    def _check_batch_node_write(
+        self, session: Session, attr: AttrName, node_indices: np.ndarray
+    ) -> None:
+        """The exact role/scope gate ``PowerApiContext.write`` applies, once
+        for a whole node batch."""
+        if not session.context.permissions.may_write(attr, ObjType.NODE):
+            raise ServiceError(
+                ServiceErrorCode.NO_PERMISSION,
+                f"role {session.role.value!r} may not write {attr.value!r} on a node",
+            )
+        root = self._admin_context.root.name
+        for index in node_indices:
+            path = f"{root}/{self.cluster.nodes[int(index)].hostname}"
+            if not session.context.in_scope(path):
+                raise ServiceError(
+                    ServiceErrorCode.OUT_OF_SCOPE,
+                    f"{path!r} is outside this session's scope",
+                )
+
+    def _cmd_power_set_caps(
+        self,
+        session: Session,
+        watts: Any,
+        indices: Optional[List[int]] = None,
+        hostnames: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        node_indices = self._resolve_node_indices(indices, hostnames)
+        self._check_batch_node_write(session, AttrName.POWER_LIMIT_MAX, node_indices)
+        if isinstance(watts, list):
+            if len(watts) != node_indices.size:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    f"'watts' list length {len(watts)} != {node_indices.size} nodes",
+                )
+            values = [self._watt_value(w, "watts") for w in watts]
+        else:
+            values = [self._watt_value(watts, "watts")] * node_indices.size
+        if any(v < 0 for v in values if not np.isnan(v)):
+            raise ServiceError(
+                ServiceErrorCode.BAD_VALUE, "negative value for 'power_limit_max'"
+            )
+        caps = self.cluster.state.node_power_cap_w.copy()
+        caps[node_indices] = values
+        applied = self.cluster.apply_power_caps(caps)
+        return {
+            "applied": {
+                self.cluster.nodes[int(i)].hostname: (
+                    None if np.isnan(applied[int(i)]) else float(applied[int(i)])
+                )
+                for i in node_indices
+            }
+        }
+
+    def _cmd_power_set_frequencies(
+        self,
+        session: Session,
+        ghz: Any,
+        indices: Optional[List[int]] = None,
+        hostnames: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        node_indices = self._resolve_node_indices(indices, hostnames)
+        self._check_batch_node_write(session, AttrName.FREQ_REQUEST, node_indices)
+        def freq_value(value: Any) -> float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST, "'ghz' entries must be numbers"
+                )
+            return float(value)
+
+        if isinstance(ghz, list):
+            if len(ghz) != node_indices.size:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    f"'ghz' list length {len(ghz)} != {node_indices.size} nodes",
+                )
+            targets = np.asarray([freq_value(g) for g in ghz])
+        else:
+            targets = freq_value(ghz)
+        if np.any(np.asarray(targets) < 0):
+            raise ServiceError(ServiceErrorCode.BAD_VALUE, "negative value for 'freq_request'")
+        granted = self.cluster.state.set_node_frequencies(targets, node_indices)
+        # granted is per-package; report the node frequency the way the
+        # Power API node object does (the slowest package).
+        node_granted = np.asarray(granted).min(axis=1)
+        return {
+            "granted": {
+                self.cluster.nodes[int(i)].hostname: float(node_granted[pos])
+                for pos, i in enumerate(node_indices)
+            }
+        }
+
+    # -- resource manager --------------------------------------------------
+    def _job(self, job_id: str):
+        job = self.scheduler.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(ServiceErrorCode.NO_JOB, f"unknown job {job_id!r}")
+        return job
+
+    @staticmethod
+    def _job_dict(job) -> Dict[str, Any]:
+        return {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "user": job.request.user,
+            "nodes": [node.hostname for node in job.assigned_nodes],
+            "power_budget_w": job.power_budget_w,
+            "submit_time_s": job.submit_time_s,
+            "start_time_s": job.start_time_s,
+            "end_time_s": job.end_time_s,
+            "reject_reason": job.launch_metadata.get("reject_reason"),
+        }
+
+    def _cmd_jobs_submit(
+        self,
+        session: Session,
+        app: Any,
+        nodes: int = 1,
+        params: Optional[Mapping[str, Any]] = None,
+        walltime_s: float = 600.0,
+        ranks_per_node: int = 1,
+        job_id: Optional[str] = None,
+        nodes_min: Optional[int] = None,
+        nodes_max: Optional[int] = None,
+        malleable: bool = False,
+    ) -> Dict[str, Any]:
+        self._require_working_role(session, "submit jobs")
+        application = _build_application(app)
+        self._job_counter += 1
+        identifier = job_id or f"job-{self._job_counter:05d}"
+        try:
+            request = JobRequest(
+                job_id=identifier,
+                application=application,
+                params=dict(params or {}),
+                nodes_requested=int(nodes),
+                nodes_min=nodes_min,
+                nodes_max=nodes_max,
+                ranks_per_node=int(ranks_per_node),
+                walltime_estimate_s=float(walltime_s),
+                malleable=bool(malleable),
+                arrival_time_s=self.env.now,
+                user=session.tenant,
+            )
+            job = self.scheduler.submit(request)
+        except ValueError as error:
+            raise ServiceError(ServiceErrorCode.BAD_REQUEST, str(error)) from error
+        return self._job_dict(job)
+
+    def _cmd_jobs_query(self, session: Session, job_id: str) -> Dict[str, Any]:
+        return self._job_dict(self._job(job_id))
+
+    def _cmd_jobs_list(self, session: Session) -> List[Dict[str, Any]]:
+        # Working tenants see their own jobs; operators and the site-wide
+        # monitor see the whole queue.
+        jobs = self.scheduler.jobs.values()
+        if session.role not in _OPERATOR_ROLES + _SITE_READ_ROLES:
+            jobs = [job for job in jobs if job.request.user == session.tenant]
+        return [self._job_dict(job) for job in jobs]
+
+    def _require_owner_or_operator(self, session: Session, job) -> None:
+        if session.role in _OPERATOR_ROLES or job.request.user == session.tenant:
+            return
+        raise ServiceError(
+            ServiceErrorCode.NO_PERMISSION,
+            f"role {session.role.value!r} of tenant {session.tenant!r} may not "
+            f"operate on job {job.job_id!r} owned by {job.request.user!r}",
+        )
+
+    def _require_operator(self, session: Session, action: str) -> None:
+        if session.role not in _OPERATOR_ROLES:
+            raise ServiceError(
+                ServiceErrorCode.NO_PERMISSION,
+                f"role {session.role.value!r} may not {action} "
+                f"(needs one of {[r.value for r in _OPERATOR_ROLES]})",
+            )
+
+    def _require_working_role(self, session: Session, action: str) -> None:
+        if session.role in _READ_ONLY_ROLES:
+            raise ServiceError(
+                ServiceErrorCode.NO_PERMISSION,
+                f"read-only role {session.role.value!r} may not {action}",
+            )
+
+    def _cmd_jobs_cancel(self, session: Session, job_id: str) -> Dict[str, Any]:
+        job = self._job(job_id)
+        self._require_owner_or_operator(session, job)
+        if job.state in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED):
+            raise ServiceError(
+                ServiceErrorCode.BAD_VALUE,
+                f"job {job_id!r} is already {job.state.value}",
+            )
+        self.scheduler.cancel(job_id)
+        return self._job_dict(job)
+
+    def _cmd_jobs_run(self, session: Session, extra_time_s: float = 0.0) -> Dict[str, Any]:
+        self._require_operator(session, "drive the cluster")
+        stats = self.scheduler.run_until_complete(extra_time_s=float(extra_time_s))
+        return {"time_s": self.env.now, "stats": stats.as_dict()}
+
+    def _cmd_jobs_advance(self, session: Session, duration_s: float) -> Dict[str, Any]:
+        self._require_operator(session, "advance the clock")
+        if duration_s <= 0:
+            raise ServiceError(ServiceErrorCode.BAD_VALUE, "duration_s must be positive")
+        self.scheduler.start()
+        self.env.run(until=self.env.now + float(duration_s))
+        return {"time_s": self.env.now}
+
+    def _cmd_jobs_stats(self, session: Session) -> Dict[str, Any]:
+        return self.scheduler.stats().as_dict()
+
+    # -- runtime layer -----------------------------------------------------
+    def _runtime(self, session: Session, job_id: str) -> JobRuntime:
+        job = self._job(job_id)
+        self._require_owner_or_operator(session, job)
+        handle = self.scheduler.runtime_handles.get(job_id)
+        if not isinstance(handle, JobRuntime):
+            raise ServiceError(
+                ServiceErrorCode.NOT_IMPLEMENTED,
+                f"job {job_id!r} has no budget-capable runtime attached",
+            )
+        return handle
+
+    def _cmd_runtime_report(self, session: Session, job_id: str) -> Dict[str, Any]:
+        return dict(self._runtime(session, job_id).report())
+
+    def _cmd_runtime_request_power(
+        self, session: Session, job_id: str, watts: float
+    ) -> Dict[str, Any]:
+        runtime = self._runtime(session, job_id)
+        granted = runtime.request_power(float(watts))
+        return {"job_id": job_id, "requested_w": granted, "report": dict(runtime.report())}
+
+    def _cmd_runtime_return_power(
+        self, session: Session, job_id: str, watts: float
+    ) -> Dict[str, Any]:
+        runtime = self._runtime(session, job_id)
+        returned = runtime.return_power(float(watts))
+        return {"job_id": job_id, "returned_w": returned, "report": dict(runtime.report())}
+
+    # -- tuning plane ------------------------------------------------------
+    def _best_feasible(self, session: Session, state: _TuningState):
+        """Best *feasible* record of one tuning exchange (first on ties).
+
+        ``best_for`` alone would happily return a record the client
+        declared infeasible; a reported best must be deployable.
+        """
+        pool = self.database.where(
+            feasible=True,
+            tenant=session.tenant,
+            session=session.session_id,
+            tuner=state.tuner_id,
+        )
+        if not pool:
+            return None
+        key = min if state.minimize else max
+        return key(pool, key=lambda record: record.objective)
+
+    def _tuner(self, session: Session, tuner_id: str) -> _TuningState:
+        state = session.tuners.get(tuner_id)
+        if state is None:
+            raise ServiceError(
+                ServiceErrorCode.NO_TUNER,
+                f"unknown tuner {tuner_id!r} in session {session.session_id!r}",
+            )
+        return state
+
+    def _make_space(self, parameters: Mapping[str, Any]) -> ParameterSpace:
+        if not parameters:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST, "'parameters' must not be empty"
+            )
+        for name, values in parameters.items():
+            if not isinstance(values, list) or not values:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    f"parameter {name!r} must map to a non-empty list of values",
+                )
+        return ParameterSpace.from_dict(parameters, name="service")
+
+    def _cmd_tuning_open(
+        self,
+        session: Session,
+        parameters: Mapping[str, Any],
+        search: str = "forest",
+        batch_size: int = 8,
+        minimize: bool = True,
+        seed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        self._require_working_role(session, "open tuning sessions")
+        if batch_size < 1:
+            raise ServiceError(ServiceErrorCode.BAD_VALUE, "batch_size must be >= 1")
+        space = self._make_space(parameters)
+        session._tuner_counter += 1
+        ordinal = session._tuner_counter
+        if seed is None:
+            # Per-tuner deterministic seed off the session's tenant stream.
+            seed = int(
+                session.streams.stream(f"tuner:{ordinal}").integers(0, 2**31 - 1)
+            )
+        try:
+            algorithm = make_search(search, space, seed=int(seed))
+        except ValueError as error:
+            raise ServiceError(ServiceErrorCode.BAD_REQUEST, str(error)) from error
+        tuner_id = f"{session.session_id}/t{ordinal}"
+        session.tuners[tuner_id] = _TuningState(
+            tuner_id=tuner_id,
+            space=space,
+            search=algorithm,
+            minimize=bool(minimize),
+            batch_size=int(batch_size),
+            seed=int(seed),
+        )
+        return {
+            "tuner_id": tuner_id,
+            "search": search,
+            "seed": int(seed),
+            "batch_size": int(batch_size),
+            "minimize": bool(minimize),
+            "cardinality": session.tuners[tuner_id].space.cardinality(),
+        }
+
+    def _cmd_tuning_ask(
+        self, session: Session, tuner_id: str, n: Optional[int] = None
+    ) -> Dict[str, Any]:
+        state = self._tuner(session, tuner_id)
+        count = state.batch_size if n is None else int(n)
+        if count < 1:
+            raise ServiceError(ServiceErrorCode.BAD_VALUE, "n must be >= 1")
+        configs: List[Dict[str, Any]] = []
+        if not state.search.is_exhausted():
+            # Forbidden combinations are rejected service-side without
+            # spending client evaluations — mirroring BatchAutotuner.
+            for config in state.search.ask_batch(count):
+                config = state.space.validate(config)
+                if state.space.is_allowed(config):
+                    configs.append(config)
+                else:
+                    state.search.tell(config, PENALTY_OBJECTIVE)
+        return {
+            "tuner_id": tuner_id,
+            "configs": configs,
+            "exhausted": state.search.is_exhausted() and not configs,
+        }
+
+    def _cmd_tuning_tell(
+        self, session: Session, tuner_id: str, results: List[Any]
+    ) -> Dict[str, Any]:
+        state = self._tuner(session, tuner_id)
+        parsed: List[Tuple[Dict[str, Any], float, Dict[str, float], bool]] = []
+        for entry in results:
+            if not isinstance(entry, Mapping) or "config" not in entry or "objective" not in entry:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    "each result must be an object with 'config' and 'objective'",
+                )
+            try:
+                config = state.space.validate(dict(entry["config"]))
+            except (KeyError, ValueError) as error:
+                raise ServiceError(ServiceErrorCode.BAD_VALUE, str(error)) from error
+            objective = float(entry["objective"])
+            metrics = dict(entry.get("metrics", {}))
+            feasible = bool(entry.get("feasible", True))
+            parsed.append((config, objective, metrics, feasible))
+        session.charge(len(parsed))
+        for config, objective, metrics, feasible in parsed:
+            if not feasible:
+                search_value = PENALTY_OBJECTIVE
+            else:
+                search_value = objective if state.minimize else -objective
+            state.search.tell(config, search_value)
+            state.told += 1
+            self.database.add_evaluation(
+                config=config,
+                metrics=metrics,
+                objective=objective,
+                feasible=feasible,
+                tenant=session.tenant,
+                session=session.session_id,
+                tuner=state.tuner_id,
+            )
+        best = self._best_feasible(session, state)
+        return {
+            "tuner_id": tuner_id,
+            "recorded": len(parsed),
+            "told_total": state.told,
+            "quota_remaining": (
+                None if session.quota is None else session.quota - session.used_evaluations
+            ),
+            "best": None if best is None else best.to_dict(),
+        }
+
+    def _cmd_tuning_best(self, session: Session, tuner_id: str) -> Dict[str, Any]:
+        state = self._tuner(session, tuner_id)
+        best = self._best_feasible(session, state)
+        return {"tuner_id": tuner_id, "best": None if best is None else best.to_dict()}
+
+    def _cmd_tuning_close(self, session: Session, tuner_id: str) -> Dict[str, Any]:
+        state = self._tuner(session, tuner_id)
+        del session.tuners[tuner_id]
+        return {"tuner_id": tuner_id, "told_total": state.told}
+
+    def _cmd_tuning_run(
+        self,
+        session: Session,
+        parameters: Mapping[str, Any],
+        evaluator: str,
+        search: str = "forest",
+        max_evals: int = 30,
+        batch_size: int = 8,
+        cache_evaluations: bool = False,
+        seed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        self._require_working_role(session, "run tuning loops")
+        if max_evals < 1:
+            raise ServiceError(ServiceErrorCode.BAD_VALUE, "max_evals must be >= 1")
+        fn = EVALUATOR_REGISTRY.get(evaluator)
+        if fn is None:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"unknown evaluator {evaluator!r}; registered: {sorted(EVALUATOR_REGISTRY)}",
+            )
+        space = self._make_space(parameters)
+        session.charge(int(max_evals))
+        self._run_counter += 1
+        run_id = f"run-{self._run_counter:04d}"
+        if seed is None:
+            seed = int(session.streams.stream(f"tuning-run:{run_id}").integers(0, 2**31 - 1))
+        try:
+            tuner = BatchAutotuner(
+                space,
+                fn,
+                batch_size=int(batch_size),
+                search=search,
+                max_evals=int(max_evals),
+                seed=int(seed),
+                cache_evaluations=bool(cache_evaluations),
+                name=run_id,
+            )
+        except ValueError as error:
+            raise ServiceError(ServiceErrorCode.BAD_REQUEST, str(error)) from error
+        result = tuner.run()
+        tuner.close()
+        # max_evals was charged as a reservation up front; refund the
+        # slots an early-exhausted search never spent.
+        session.used_evaluations -= max(0, int(max_evals) - result.evaluations)
+        self.database.merge(
+            result.database,
+            tenant=session.tenant,
+            session=session.session_id,
+            tuner=run_id,
+        )
+        return {
+            "run_id": run_id,
+            "seed": int(seed),
+            "evaluations": result.evaluations,
+            "best_config": result.best_config,
+            "best_objective": result.best_objective,
+            "cache_hits": result.cache_hits,
+            "objective": result.objective_name,
+        }
+
+    # -- campaign plane ----------------------------------------------------
+    def _cmd_campaign_run(
+        self,
+        session: Session,
+        scenarios: List[Any],
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        self._require_working_role(session, "run campaigns")
+        if executor not in ("serial", "thread", "process"):
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"unknown executor {executor!r}; available: serial, thread, process",
+            )
+        built = []
+        for index, entry in enumerate(scenarios):
+            if not isinstance(entry, Mapping) or "use_case" not in entry:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    "each scenario must be an object with a 'use_case' field",
+                )
+            try:
+                built.append(
+                    build_scenario(
+                        entry["use_case"],
+                        params=entry.get("params"),
+                        seeds=tuple(entry.get("seeds", (1,))),
+                        name=entry.get("name", ""),
+                        tags=entry.get("tags"),
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as error:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST, f"scenario #{index}: {error}"
+                ) from error
+        self._run_counter += 1
+        campaign_name = name or f"campaign-{self._run_counter:04d}"
+        try:
+            campaign = Campaign(built, name=campaign_name)
+        except ValueError as error:
+            raise ServiceError(ServiceErrorCode.BAD_REQUEST, str(error)) from error
+        session.charge(campaign.total_runs)
+        result = campaign.run(executor=executor, max_workers=max_workers)
+        self.database.merge(
+            result.database,
+            tenant=session.tenant,
+            session=session.session_id,
+            campaign=campaign_name,
+        )
+        return result.summary()
+
+    # -- database plane ----------------------------------------------------
+    def _scope_tags(self, session: Session, tags: Optional[Mapping[str, Any]]) -> Dict[str, str]:
+        filters = {str(k): str(v) for k, v in (tags or {}).items()}
+        # Tenant isolation: only site-read roles see other tenants'
+        # records — a working role's tenant filter is *forced*, so an
+        # explicit tags={"tenant": ...} cannot reach across tenants.
+        if session.role not in _SITE_READ_ROLES:
+            filters["tenant"] = session.tenant
+        return filters
+
+    def _cmd_db_best_for(
+        self,
+        session: Session,
+        tags: Optional[Mapping[str, Any]] = None,
+        minimize: bool = True,
+    ) -> Dict[str, Any]:
+        best = self.database.best_for(minimize=bool(minimize), **self._scope_tags(session, tags))
+        return {"best": None if best is None else best.to_dict()}
+
+    def _cmd_db_top_k(
+        self, session: Session, k: int, minimize: bool = True
+    ) -> Dict[str, Any]:
+        if k < 0:
+            raise ServiceError(ServiceErrorCode.BAD_VALUE, "k must be >= 0")
+        filters = self._scope_tags(session, None)
+        if filters:
+            # Tenant view through the one canonical top_k implementation.
+            pool = PerformanceDatabase.from_records(self.database.where(**filters))
+            records = pool.top_k(int(k), minimize=bool(minimize))
+        else:
+            records = self.database.top_k(int(k), minimize=bool(minimize))
+        return {"records": [record.to_dict() for record in records]}
+
+    def _cmd_db_aggregate(
+        self, session: Session, feasible_only: bool = False
+    ) -> Dict[str, Any]:
+        filters = self._scope_tags(session, None)
+        if filters:
+            pool = self.database.where(
+                feasible=True if feasible_only else None, **filters
+            )
+            return objective_stats(np.asarray([r.objective for r in pool]))
+        return self.database.aggregate(feasible_only=bool(feasible_only))
+
+    def _cmd_db_where(
+        self,
+        session: Session,
+        feasible: Optional[bool] = None,
+        min_objective: Optional[float] = None,
+        max_objective: Optional[float] = None,
+        tags: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        records = self.database.where(
+            feasible=feasible,
+            min_objective=min_objective,
+            max_objective=max_objective,
+            **self._scope_tags(session, tags),
+        )
+        return {"records": [record.to_dict() for record in records]}
+
+    def _cmd_db_stats(self, session: Session) -> Dict[str, Any]:
+        if session.role not in _SITE_READ_ROLES:
+            # Tenant view: own record count only — no cross-tenant names,
+            # no global sizes (the same isolation _scope_tags enforces).
+            return {
+                "n_records": len(self.database.where(tenant=session.tenant)),
+                "n_shards": self.database.n_shards,
+                "tenants": [session.tenant],
+            }
+        return {
+            "n_records": len(self.database),
+            "n_shards": self.database.n_shards,
+            "shard_sizes": self.database.shard_sizes(),
+            "tenants": self.database.tag_values("tenant"),
+        }

@@ -13,11 +13,14 @@ utilization).  This subpackage provides:
   windows (for power-corridor and power-cap compliance checks),
 * :mod:`repro.telemetry.database` — the performance database the
   auto-tuning loop appends its evaluations to (ytopt's "performance
-  database", §3.2.3).
+  database", §3.2.3),
+* :mod:`repro.telemetry.sharding` — the tenant/session-sharded store
+  behind the multi-tenant control-plane service (``repro.service``).
 """
 
 from repro.telemetry.counters import CounterSnapshot, TelemetryAccumulator
 from repro.telemetry.database import EvaluationRecord, PerformanceDatabase
+from repro.telemetry.sharding import ShardedPerformanceDatabase
 from repro.telemetry.metrics import (
     METRIC_REGISTRY,
     Metric,
@@ -36,6 +39,7 @@ __all__ = [
     "MetricKind",
     "PerformanceDatabase",
     "PowerTimeSeries",
+    "ShardedPerformanceDatabase",
     "SlidingWindow",
     "TelemetryAccumulator",
     "derived_metrics",

@@ -22,7 +22,26 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["EvaluationRecord", "PerformanceDatabase"]
+__all__ = ["EvaluationRecord", "PerformanceDatabase", "objective_stats"]
+
+
+def objective_stats(objectives: np.ndarray) -> Dict[str, float]:
+    """Summary statistics of an objective column.
+
+    The single implementation behind :meth:`PerformanceDatabase.aggregate`
+    and the sharded store's fan-in aggregate, so the two can never drift:
+    on the same values in the same order they are bit-identical.
+    """
+    if objectives.size == 0:
+        return {"count": 0.0}
+    return {
+        "count": float(objectives.size),
+        "min": float(objectives.min()),
+        "max": float(objectives.max()),
+        "mean": float(objectives.mean()),
+        "std": float(objectives.std()),
+        "median": float(np.median(objectives)),
+    }
 
 
 @dataclass(frozen=True)
@@ -37,12 +56,19 @@ class EvaluationRecord:
     tags: Dict[str, str] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
+        # Scalars are coerced to plain Python types so the dictionary is
+        # always JSON-serialisable (numpy float64 passes json.dumps, but
+        # numpy bool_ does not) and so a to_json -> from_json round trip
+        # reproduces the record exactly.
         return {
             "config": dict(self.config),
-            "metrics": dict(self.metrics),
-            "objective": self.objective,
-            "elapsed_s": self.elapsed_s,
-            "feasible": self.feasible,
+            "metrics": {
+                k: float(v) if isinstance(v, (bool, int, float, np.number, np.bool_)) else v
+                for k, v in self.metrics.items()
+            },
+            "objective": float(self.objective),
+            "elapsed_s": float(self.elapsed_s),
+            "feasible": bool(self.feasible),
             "tags": dict(self.tags),
         }
 
@@ -50,7 +76,10 @@ class EvaluationRecord:
     def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationRecord":
         return cls(
             config=dict(data["config"]),
-            metrics=dict(data["metrics"]),
+            metrics={
+                k: float(v) if isinstance(v, (bool, int, float)) else v
+                for k, v in data["metrics"].items()
+            },
             objective=float(data["objective"]),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
             feasible=bool(data.get("feasible", True)),
@@ -139,12 +168,29 @@ class PerformanceDatabase:
             config=dict(config),
             metrics=dict(metrics),
             objective=float(objective),
-            elapsed_s=elapsed_s,
-            feasible=feasible,
+            elapsed_s=float(elapsed_s),
+            feasible=bool(feasible),
             tags=dict(tags),
         )
         self.add(record)
         return record
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[EvaluationRecord], name: str = "default"
+    ) -> "PerformanceDatabase":
+        """Rebuild a database from records, in order.
+
+        The canonical rebuild: columns, tag index and running-best records
+        are exactly those of a database that had seen ``add(record)`` for
+        every record in sequence.  ``filter`` and ``merge`` are defined in
+        terms of it, so a filtered/merged database is always
+        indistinguishable from a rebuild over the same record sequence.
+        """
+        db = cls(name)
+        for record in records:
+            db.add(record)
+        return db
 
     def __len__(self) -> int:
         return len(self._records)
@@ -193,11 +239,41 @@ class PerformanceDatabase:
         return [self._records[i] for i in order]
 
     def filter(self, predicate: Callable[[EvaluationRecord], bool]) -> "PerformanceDatabase":
-        out = PerformanceDatabase(self.name)
-        for record in self._records:
-            if predicate(record):
-                out.add(record)
-        return out
+        """A new database holding the records matching ``predicate``.
+
+        Built through :meth:`from_records`, so tag indexes and running-best
+        records are identical to a rebuild over the surviving records.
+        """
+        return PerformanceDatabase.from_records(
+            (record for record in self._records if predicate(record)), self.name
+        )
+
+    def where_indices(
+        self,
+        feasible: Optional[bool] = None,
+        min_objective: Optional[float] = None,
+        max_objective: Optional[float] = None,
+        **tag_filters: str,
+    ) -> np.ndarray:
+        """Ascending record indices matching the :meth:`where` filters.
+
+        The index-level entry point :class:`ShardedPerformanceDatabase`
+        uses to fan a query across shards and stitch the matches back
+        into global insertion order.
+        """
+        mask = np.ones(len(self._records), dtype=bool)
+        if feasible is not None:
+            mask &= self._columns.feasible == feasible
+        if min_objective is not None:
+            mask &= self._columns.objective >= min_objective
+        if max_objective is not None:
+            mask &= self._columns.objective <= max_objective
+        if tag_filters:
+            indices = self._tag_indices(tag_filters)
+            tag_mask = np.zeros(len(self._records), dtype=bool)
+            tag_mask[indices] = True
+            mask &= tag_mask
+        return np.flatnonzero(mask)
 
     def where(
         self,
@@ -213,35 +289,20 @@ class PerformanceDatabase:
         the tag filters are index intersections, so no record object is
         touched until the matching rows are materialised.
         """
-        mask = np.ones(len(self._records), dtype=bool)
-        if feasible is not None:
-            mask &= self._columns.feasible == feasible
-        if min_objective is not None:
-            mask &= self._columns.objective >= min_objective
-        if max_objective is not None:
-            mask &= self._columns.objective <= max_objective
-        if tag_filters:
-            indices = self._tag_indices(tag_filters)
-            tag_mask = np.zeros(len(self._records), dtype=bool)
-            tag_mask[indices] = True
-            mask &= tag_mask
-        return [self._records[i] for i in np.flatnonzero(mask)]
+        indices = self.where_indices(
+            feasible=feasible,
+            min_objective=min_objective,
+            max_objective=max_objective,
+            **tag_filters,
+        )
+        return [self._records[i] for i in indices]
 
     def aggregate(self, feasible_only: bool = False) -> Dict[str, float]:
         """Vectorised summary statistics of the objective column."""
         objectives = self._columns.objective
         if feasible_only:
             objectives = objectives[self._columns.feasible]
-        if objectives.size == 0:
-            return {"count": 0.0}
-        return {
-            "count": float(objectives.size),
-            "min": float(objectives.min()),
-            "max": float(objectives.max()),
-            "mean": float(objectives.mean()),
-            "std": float(objectives.std()),
-            "median": float(np.median(objectives)),
-        }
+        return objective_stats(objectives)
 
     def objectives(self) -> List[float]:
         return self._columns.objective.tolist()
@@ -271,9 +332,13 @@ class PerformanceDatabase:
         """Append every record of ``other`` (campaign shard consolidation).
 
         Records keep their order within each database; ``other`` is
-        unchanged.  Returns ``self`` for chaining.
+        unchanged (merging a database into itself duplicates its records
+        once).  Returns ``self`` for chaining.
         """
-        for record in other._records:
+        # Snapshot the list: ``db.merge(db)`` must not iterate what it
+        # appends, and every record must land through add() so the tag
+        # index and running bests stay rebuild-identical.
+        for record in list(other._records):
             self.add(record)
         return self
 

@@ -1,0 +1,315 @@
+"""Sharded performance database for multi-tenant tuning services.
+
+One :class:`~repro.telemetry.database.PerformanceDatabase` per shard,
+with writes routed by a tenant/session key and queries fanned out and
+stitched back together.  The contract is strict: every query answered
+here is *bit-identical* to the same query against one merged
+``PerformanceDatabase`` holding the same records in insertion order.
+That is what lets the control-plane service (``repro.service``) shard
+its capture transparently — a caller cannot tell how many shards sit
+behind the facade.
+
+The key ingredient is the global insertion order.  Each shard's records
+carry their global sequence numbers (``_global``), so a fan-in query can
+reconstruct the globally-ordered objective/feasibility columns (scatter
+per shard, no sort), and tie-breaking in ``top_k`` / ``best_for`` uses
+exactly the stable order a single database would.
+
+Routing uses :func:`repro.sim.rng.stable_name_key` (SHA-256), so a key
+maps to the same shard in every process and on every platform.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import stable_name_key
+from repro.telemetry.database import (
+    EvaluationRecord,
+    PerformanceDatabase,
+    objective_stats,
+)
+
+__all__ = ["ShardedPerformanceDatabase"]
+
+_MANIFEST = "manifest.json"
+
+
+class ShardedPerformanceDatabase:
+    """N ``PerformanceDatabase`` shards behind a single-database facade.
+
+    Writes are routed by ``shard_key`` (or, when absent, by the record's
+    ``shard_key_tags`` tag values — tenant/session by default); queries
+    fan out across the shards and back in, bit-identical to one merged
+    database.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        name: str = "sharded",
+        shard_key_tags: Sequence[str] = ("tenant", "session"),
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.name = name
+        self.shard_key_tags = tuple(shard_key_tags)
+        self.shards: List[PerformanceDatabase] = [
+            PerformanceDatabase(f"{name}/shard-{i}") for i in range(n_shards)
+        ]
+        #: Per-shard global sequence numbers, parallel to the shard's records.
+        self._global: List[List[int]] = [[] for _ in range(n_shards)]
+        self._global_arrays: List[Optional[np.ndarray]] = [None] * n_shards
+        #: Global index -> (shard index, local index).
+        self._locator: List[Tuple[int, int]] = []
+
+    # -- routing -----------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def routing_key(self, tags: Mapping[str, Any]) -> str:
+        """The routing key derived from a record's tags."""
+        return "/".join(str(tags.get(key, "")) for key in self.shard_key_tags)
+
+    def shard_index(self, shard_key: str) -> int:
+        """Deterministic, process-stable shard for a routing key."""
+        return stable_name_key(str(shard_key)) % len(self.shards)
+
+    # -- writes ------------------------------------------------------------
+    def add(self, record: EvaluationRecord, shard_key: Optional[str] = None) -> int:
+        """Route one record to its shard; returns the shard index."""
+        key = self.routing_key(record.tags) if shard_key is None else str(shard_key)
+        shard = self.shard_index(key)
+        local = len(self.shards[shard])
+        self.shards[shard].add(record)
+        self._global[shard].append(len(self._locator))
+        self._global_arrays[shard] = None
+        self._locator.append((shard, local))
+        return shard
+
+    def add_evaluation(
+        self,
+        config: Mapping[str, Any],
+        metrics: Mapping[str, float],
+        objective: float,
+        elapsed_s: float = 0.0,
+        feasible: bool = True,
+        shard_key: Optional[str] = None,
+        **tags: str,
+    ) -> EvaluationRecord:
+        record = EvaluationRecord(
+            config=dict(config),
+            metrics=dict(metrics),
+            objective=float(objective),
+            elapsed_s=float(elapsed_s),
+            feasible=bool(feasible),
+            tags=dict(tags),
+        )
+        self.add(record, shard_key=shard_key)
+        return record
+
+    def merge(self, other: PerformanceDatabase, **extra_tags: str) -> "ShardedPerformanceDatabase":
+        """Ingest every record of a flat database (campaign capture).
+
+        ``extra_tags`` (e.g. tenant/session) are stamped onto each record
+        before routing, so a whole campaign lands on its tenant's shard.
+        """
+        for record in list(other):
+            if extra_tags:
+                record = EvaluationRecord(
+                    config=dict(record.config),
+                    metrics=dict(record.metrics),
+                    objective=record.objective,
+                    elapsed_s=record.elapsed_s,
+                    feasible=record.feasible,
+                    tags={**record.tags, **extra_tags},
+                )
+            self.add(record)
+        return self
+
+    # -- global-order reconstruction ---------------------------------------
+    def _global_index(self, shard: int) -> np.ndarray:
+        cached = self._global_arrays[shard]
+        if cached is None:
+            cached = np.asarray(self._global[shard], dtype=int)
+            self._global_arrays[shard] = cached
+        return cached
+
+    def _record_at(self, global_index: int) -> EvaluationRecord:
+        shard, local = self._locator[int(global_index)]
+        return self.shards[shard]._records[local]
+
+    def _gather(self, column: str) -> np.ndarray:
+        """One scalar column in global insertion order (scatter per shard)."""
+        first = getattr(self.shards[0], column)()
+        out = np.empty(len(self._locator), dtype=first.dtype)
+        for shard_index, shard in enumerate(self.shards):
+            values = getattr(shard, column)()
+            if values.size:
+                out[self._global_index(shard_index)] = values
+        return out
+
+    def objectives_array(self) -> np.ndarray:
+        """Objective column in global insertion order."""
+        return self._gather("objectives_array")
+
+    def feasible_array(self) -> np.ndarray:
+        """Feasibility column in global insertion order."""
+        return self._gather("feasible_array")
+
+    def elapsed_array(self) -> np.ndarray:
+        """Elapsed-seconds column in global insertion order."""
+        return self._gather("elapsed_array")
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._locator)
+
+    def __iter__(self) -> Iterator[EvaluationRecord]:
+        for shard, local in self._locator:
+            yield self.shards[shard]._records[local]
+
+    def records(self, feasible_only: bool = False) -> List[EvaluationRecord]:
+        """All records in global insertion order."""
+        if feasible_only:
+            feasible = self.feasible_array()
+            return [self._record_at(i) for i in np.flatnonzero(feasible)]
+        return list(self)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self.shards]
+
+    def merged(self, name: Optional[str] = None) -> PerformanceDatabase:
+        """One flat database holding every record in global order."""
+        return PerformanceDatabase.from_records(self, name or self.name)
+
+    # -- fan-in queries ----------------------------------------------------
+    def best(
+        self, minimize: bool = True, feasible_only: bool = True
+    ) -> Optional[EvaluationRecord]:
+        if not self._locator:
+            return None
+        objectives = self.objectives_array()
+        if feasible_only:
+            pool = np.flatnonzero(self.feasible_array())
+            if pool.size:
+                values = objectives[pool]
+                return self._record_at(
+                    pool[np.argmin(values) if minimize else np.argmax(values)]
+                )
+        return self._record_at(np.argmin(objectives) if minimize else np.argmax(objectives))
+
+    def best_for(
+        self, minimize: bool = True, **tag_filters: str
+    ) -> Optional[EvaluationRecord]:
+        """Fan-out best-record query; ties resolve in global order."""
+        best: Optional[Tuple[float, int]] = None
+        for shard_index, shard in enumerate(self.shards):
+            local = shard.where_indices(**tag_filters)
+            if local.size == 0:
+                continue
+            pool = shard.objectives_array()[local]
+            pos = int(np.argmin(pool)) if minimize else int(np.argmax(pool))
+            candidate = (float(pool[pos]), int(self._global_index(shard_index)[local[pos]]))
+            if best is None:
+                best = candidate
+            elif minimize:
+                if candidate[0] < best[0] or (candidate[0] == best[0] and candidate[1] < best[1]):
+                    best = candidate
+            else:
+                if candidate[0] > best[0] or (candidate[0] == best[0] and candidate[1] < best[1]):
+                    best = candidate
+        return None if best is None else self._record_at(best[1])
+
+    def top_k(self, k: int, minimize: bool = True) -> List[EvaluationRecord]:
+        """The ``k`` best records, stable on ties (global insertion order)."""
+        objectives = self.objectives_array()
+        key = objectives if minimize else -objectives
+        order = np.argsort(key, kind="stable")[: max(0, k)]
+        return [self._record_at(i) for i in order]
+
+    def aggregate(self, feasible_only: bool = False) -> Dict[str, float]:
+        """Summary statistics over the globally-ordered objective column."""
+        objectives = self.objectives_array()
+        if feasible_only:
+            objectives = objectives[self.feasible_array()]
+        return objective_stats(objectives)
+
+    def where(
+        self,
+        feasible: Optional[bool] = None,
+        min_objective: Optional[float] = None,
+        max_objective: Optional[float] = None,
+        **tag_filters: str,
+    ) -> List[EvaluationRecord]:
+        """Fan-out record selection, results in global insertion order."""
+        matches: List[np.ndarray] = []
+        for shard_index, shard in enumerate(self.shards):
+            local = shard.where_indices(
+                feasible=feasible,
+                min_objective=min_objective,
+                max_objective=max_objective,
+                **tag_filters,
+            )
+            if local.size:
+                matches.append(self._global_index(shard_index)[local])
+        if not matches:
+            return []
+        order = np.sort(np.concatenate(matches))
+        return [self._record_at(i) for i in order]
+
+    def lookup(self, **tag_filters: str) -> List[EvaluationRecord]:
+        if not tag_filters:
+            return list(self)
+        return self.where(**tag_filters)
+
+    def tag_values(self, key: str) -> List[str]:
+        values: set = set()
+        for shard in self.shards:
+            values.update(shard.tag_values(key))
+        return sorted(values)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Write one JSON file per shard plus a manifest with the order."""
+        os.makedirs(directory, exist_ok=True)
+        for index, shard in enumerate(self.shards):
+            shard.save(os.path.join(directory, f"shard-{index}.json"))
+        manifest = {
+            "name": self.name,
+            "n_shards": len(self.shards),
+            "shard_key_tags": list(self.shard_key_tags),
+            "order": [[shard, local] for shard, local in self._locator],
+        }
+        with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+
+    @classmethod
+    def load(cls, directory: str) -> "ShardedPerformanceDatabase":
+        with open(os.path.join(directory, _MANIFEST), "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        db = cls(
+            n_shards=int(manifest["n_shards"]),
+            name=manifest["name"],
+            shard_key_tags=manifest["shard_key_tags"],
+        )
+        for index in range(db.n_shards):
+            db.shards[index] = PerformanceDatabase.load(
+                os.path.join(directory, f"shard-{index}.json"),
+                name=f"{db.name}/shard-{index}",
+            )
+        for shard, local in manifest["order"]:
+            db._locator.append((int(shard), int(local)))
+            db._global[int(shard)].append(len(db._locator) - 1)
+        sizes = [len(entries) for entries in db._global]
+        if sizes != db.shard_sizes():
+            raise ValueError(
+                f"manifest order inconsistent with shard files: "
+                f"{sizes} vs {db.shard_sizes()}"
+            )
+        return db

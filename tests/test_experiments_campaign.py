@@ -27,6 +27,7 @@ from repro.experiments import (
 from repro.experiments.__main__ import main as cli_main
 from repro.hardware.cluster import Cluster, ClusterSpec
 from repro.telemetry.database import PerformanceDatabase
+from repro.telemetry.sharding import ShardedPerformanceDatabase
 
 #: Cheap parameters shared by the campaign tests.
 UC6_PARAMS = {"n_nodes": 2, "n_iterations": 6}
@@ -494,3 +495,33 @@ def test_cli_budget_trace_axis(tmp_path):
     data = json.loads(out_path.read_text())
     assert data["n_runs"] == 2  # one run per trace segment
     assert [run["segment"] for run in data["runs"]] == [0, 1]
+
+
+def test_cli_out_dir_saves_one_shard_per_scenario(tmp_path):
+    out_dir = tmp_path / "shards"
+    code = cli_main(
+        [
+            "run",
+            "--uc", "uc6,uc7",
+            "--seed-list", "1,2",
+            "--param", "n_iterations=6",
+            "--param", "n_nodes=2",
+            "--out-dir", str(out_dir),
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    files = sorted(p.name for p in out_dir.iterdir())
+    assert files == ["uc6.json", "uc7.json"]
+    total = 0
+    for name in ("uc6", "uc7"):
+        shard = PerformanceDatabase.load(str(out_dir / f"{name}.json"), name)
+        assert len(shard) == 2  # one record per seed
+        assert shard.tag_values("scenario") == [name]
+        assert shard.tag_values("seed") == ["1", "2"]
+        total += len(shard)
+        # The saved shard composes with the sharded multi-tenant store.
+        sharded = ShardedPerformanceDatabase(n_shards=2)
+        sharded.merge(shard, tenant="cli", session=name)
+        assert sharded.aggregate() == shard.aggregate()
+    assert total == 4

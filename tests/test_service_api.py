@@ -1,0 +1,779 @@
+"""Control-plane service API: envelopes, sessions, roles, every command.
+
+Three pillars:
+
+* **wire safety** — every command exercised here round-trips through
+  JSON envelopes (dict → wire → dict equality asserted on both the
+  request and the response), and failures are structured error
+  responses, never exceptions through the facade;
+* **permission parity** — an exhaustive role × attribute × object-type
+  grid asserts the service rejects exactly what ``PowerApiContext``
+  rejects, with the same error code;
+* **stack coverage** — one scripted session drives every registered
+  command at least once.
+"""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.node import NodeSpec
+from repro.powerapi.context import PowerApiContext, PowerApiError
+from repro.powerapi.objects import AttrName, ObjType
+from repro.powerapi.roles import Role
+from repro.service import (
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    ServiceCallError,
+    ServiceClient,
+    ServiceErrorCode,
+    StackService,
+)
+from repro.service.__main__ import run_stream
+
+
+def make_service(n_nodes=4, seed=1, n_shards=4, **kwargs) -> StackService:
+    return StackService(n_nodes=n_nodes, seed=seed, n_shards=n_shards, **kwargs)
+
+
+def rt(client: ServiceClient, op: str, session=None, **args) -> Response:
+    """Call asserting the envelope round trips: dict → wire → dict."""
+    request = Request(op=op, args=args, session=session, request_id="rt")
+    assert Request.from_json(request.to_json()).to_dict() == request.to_dict()
+    response = client.call(op, session=session, **args)
+    assert Response.from_json(response.to_json()).to_dict() == response.to_dict()
+    return response
+
+
+# ---------------------------------------------------------------------------
+# envelopes
+# ---------------------------------------------------------------------------
+def test_request_envelope_round_trip():
+    request = Request(
+        op="power.set_caps",
+        args={"indices": [0, 1], "watts": 250.0},
+        session="s0001-acme",
+        request_id="abc",
+    )
+    wire = request.to_json()
+    again = Request.from_json(wire)
+    assert again == request
+    assert again.to_dict() == request.to_dict()
+
+
+def test_response_envelope_round_trip_success_and_failure():
+    ok = Response.success({"value": 1.5}, request=Request(op="x", request_id="7"))
+    assert Response.from_json(ok.to_json()).to_dict() == ok.to_dict()
+    bad = Response.failure(ServiceErrorCode.NO_PERMISSION, "nope")
+    again = Response.from_json(bad.to_json())
+    assert again.to_dict() == bad.to_dict()
+    assert again.error_code == "PWR_RET_NO_PERM"
+
+
+def test_malformed_envelopes_become_structured_errors():
+    service = make_service()
+    for payload in ("not json", '{"args": {}}', '{"op": "x", "bogus_field": 1}'):
+        response = Response.from_json(service.handle_wire(payload))
+        assert not response.ok
+        assert response.error_code == ServiceErrorCode.BAD_REQUEST.value
+
+
+def test_protocol_major_mismatch_rejected_minor_accepted():
+    service = make_service()
+    old = service.handle(Request(op="service.ping", protocol="2.0"))
+    assert not old.ok
+    assert old.error_code == ServiceErrorCode.UNSUPPORTED_PROTOCOL.value
+    minor = service.handle(Request(op="service.ping", protocol="1.9"))
+    assert minor.ok
+
+
+def test_error_codes_mirror_powerapi_values():
+    from repro.powerapi.context import ErrorCode
+
+    for code in ErrorCode:
+        assert ServiceErrorCode(code.value).value == code.value
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+def test_commands_require_session_and_unknown_session_rejected():
+    service = make_service()
+    client = ServiceClient(service)
+    no_session = rt(client, "power.snapshot")
+    assert no_session.error_code == ServiceErrorCode.NO_SESSION.value
+    ghost = rt(client, "power.snapshot", session="s9999-ghost")
+    assert ghost.error_code == ServiceErrorCode.NO_SESSION.value
+
+
+def test_closed_session_is_rejected():
+    client = ServiceClient(make_service())
+    handle = client.open_session("acme")
+    handle.close()
+    response = handle.call("session.info")
+    assert response.error_code == ServiceErrorCode.NO_SESSION.value
+
+
+def test_unknown_role_rejected():
+    client = ServiceClient(make_service())
+    response = rt(client, "session.open", tenant="acme", role="root")
+    assert response.error_code == ServiceErrorCode.BAD_REQUEST.value
+
+
+def test_unknown_command_and_unknown_argument():
+    client = ServiceClient(make_service())
+    assert rt(client, "no.such.op").error_code == ServiceErrorCode.UNKNOWN_COMMAND.value
+    response = rt(client, "service.ping", bogus=1)
+    assert response.error_code == ServiceErrorCode.BAD_REQUEST.value
+
+
+def test_tenant_rng_streams_are_deterministic_and_isolated():
+    # Same tenant, same per-tenant session ordinal => same stream seed,
+    # regardless of what other tenants did first.
+    service_a = make_service(seed=5)
+    client_a = ServiceClient(service_a)
+    client_a.open_session("other")  # unrelated tenant opens first
+    acme_a = client_a.open_session("acme", role="runtime")
+
+    service_b = make_service(seed=5)
+    acme_b = ServiceClient(service_b).open_session("acme", role="runtime")
+
+    assert acme_a.info["rng_seed"] == acme_b.info["rng_seed"]
+
+    space = {"x": [0, 1, 2, 3, 4], "y": [0.1, 0.2, 0.4]}
+    tuner_a = acme_a.result("tuning.open", parameters=space, search="random")
+    tuner_b = acme_b.result("tuning.open", parameters=space, search="random")
+    assert tuner_a["seed"] == tuner_b["seed"]
+    ask_a = acme_a.result("tuning.ask", tuner_id=tuner_a["tuner_id"], n=6)
+    ask_b = acme_b.result("tuning.ask", tuner_id=tuner_b["tuner_id"], n=6)
+    assert ask_a["configs"] == ask_b["configs"]
+
+
+# ---------------------------------------------------------------------------
+# permission parity grid (the powerapi.roles matrix through the facade)
+# ---------------------------------------------------------------------------
+_WRITE_VALUES = {
+    AttrName.POWER_LIMIT_MAX: 250.0,
+    AttrName.FREQ_REQUEST: 2.0,
+    AttrName.UNCORE_FREQ: 1.8,
+    AttrName.GOV: 1.0,
+}
+
+
+def _grid_objects(context: PowerApiContext):
+    objects = [context.root]
+    for obj_type in (ObjType.NODE, ObjType.SOCKET, ObjType.ACCELERATOR):
+        found = context.objects_of_type(obj_type)
+        if found:
+            objects.append(found[0])
+    return objects
+
+
+def test_role_grid_read_parity_with_context():
+    """service power.read fails exactly when PowerApiContext.read raises,
+    with the same error code, for every role × attribute × object type."""
+    cluster = Cluster(ClusterSpec(n_nodes=2, node=NodeSpec(n_gpus=1)), seed=3)
+    service = make_service(cluster=cluster)
+    client = ServiceClient(service)
+    reference = PowerApiContext.for_cluster(cluster)
+    checked = 0
+    for role in Role:
+        handle = client.open_session(f"grid-{role.value}", role=role.value)
+        context = reference.with_role(role)
+        for obj in _grid_objects(context):
+            for attr in AttrName:
+                expected_code = None
+                expected_value = None
+                try:
+                    expected_value = context.read(obj, attr)
+                except PowerApiError as error:
+                    expected_code = error.code.value
+                response = handle.call("power.read", path=obj.path, attr=attr.value)
+                if expected_code is None:
+                    assert response.ok, (role, obj.path, attr, response.error)
+                    assert response.result["value"] == pytest.approx(expected_value)
+                else:
+                    assert not response.ok, (role, obj.path, attr)
+                    assert response.error["code"] == expected_code
+                checked += 1
+    assert checked == len(Role) * 4 * len(AttrName)
+
+
+def test_role_grid_write_parity_with_context():
+    """Write grid: same rejects, same codes (NO_PERM before NOT_IMPLEMENTED,
+    exactly like the context's check order)."""
+    cluster = Cluster(ClusterSpec(n_nodes=2, node=NodeSpec(n_gpus=1)), seed=3)
+    service = make_service(cluster=cluster)
+    client = ServiceClient(service)
+    reference = PowerApiContext.for_cluster(cluster)
+    for role in Role:
+        handle = client.open_session(f"gridw-{role.value}", role=role.value)
+        context = reference.with_role(role)
+        for obj in _grid_objects(context):
+            for attr in AttrName:
+                value = _WRITE_VALUES.get(attr, 1.0)
+                expected_code = None
+                try:
+                    context.write(obj, attr, value)
+                except PowerApiError as error:
+                    expected_code = error.code.value
+                response = handle.call(
+                    "power.write", path=obj.path, attr=attr.value, value=value
+                )
+                if expected_code is None:
+                    assert response.ok, (role, obj.path, attr, response.error)
+                else:
+                    assert not response.ok, (role, obj.path, attr)
+                    assert response.error["code"] == expected_code
+
+
+def test_role_denied_commands_never_raise():
+    client = ServiceClient(make_service())
+    app = client.open_session("app-tenant", role="application")
+    for op, args in [
+        ("power.write", dict(path="sim-cluster", attr="power_limit_max", value=100.0)),
+        ("power.set_caps", dict(indices=[0], watts=100.0)),
+        ("power.set_frequencies", dict(indices=[0], ghz=2.0)),
+        ("jobs.run", dict()),
+        ("jobs.advance", dict(duration_s=1.0)),
+    ]:
+        response = app.call(op, **args)
+        assert not response.ok
+        assert response.error["code"] == ServiceErrorCode.NO_PERMISSION.value
+
+
+def test_read_only_roles_cannot_mutate_any_plane():
+    client = ServiceClient(make_service())
+    for role in ("monitor", "application"):
+        session = client.open_session(f"ro-{role}", role=role)
+        for op, args in [
+            ("jobs.submit", dict(app="stream", nodes=1)),
+            ("tuning.open", dict(parameters={"x": [1, 2]})),
+            ("tuning.run", dict(parameters={"x": [1, 2]}, evaluator="quadratic")),
+            ("campaign.run", dict(scenarios=[{"use_case": "uc6"}])),
+        ]:
+            response = session.call(op, **args)
+            assert response.error["code"] == ServiceErrorCode.NO_PERMISSION.value, (
+                role,
+                op,
+            )
+
+
+def test_tuning_run_refunds_unspent_quota():
+    client = ServiceClient(make_service())
+    session = client.open_session("budget", role="runtime", quota=10)
+    # Grid search over 2 values exhausts after 2 evaluations; the other
+    # 8 reserved slots must be refunded.
+    run = session.result(
+        "tuning.run",
+        parameters={"x": [0, 1]},
+        evaluator="quadratic",
+        search="grid",
+        max_evals=10,
+        batch_size=4,
+    )
+    assert run["evaluations"] == 2
+    assert session.result("session.info")["used_evaluations"] == 2
+
+
+def test_batch_commands_reject_boolean_values_and_empty_targets():
+    client = ServiceClient(make_service())
+    rm = client.open_session("acme", role="resource_manager")
+    for call in (
+        rm.call("power.set_caps", indices=[0], watts=True),
+        rm.call("power.set_caps", indices=[0, 1], watts=[250.0, True]),
+        rm.call("power.set_frequencies", indices=[0], ghz=True),
+        rm.call("power.set_caps", hostnames=[], watts=250.0),
+        rm.call("power.set_caps", indices=[], watts=250.0),
+    ):
+        assert call.error["code"] == ServiceErrorCode.BAD_REQUEST.value
+
+
+def test_negative_write_same_code_through_both_paths():
+    service = make_service()
+    client = ServiceClient(service)
+    rm = client.open_session("acme", role="resource_manager")
+    node = service.cluster.nodes[0].hostname
+    single = rm.call(
+        "power.write", path=f"sim-cluster/{node}", attr="power_limit_max", value=-5.0
+    )
+    batch = rm.call("power.set_caps", indices=[0], watts=-5.0)
+    assert single.error["code"] == batch.error["code"] == ServiceErrorCode.BAD_VALUE.value
+
+
+# ---------------------------------------------------------------------------
+# batch power commands ride the vectorised kernels
+# ---------------------------------------------------------------------------
+def test_batch_set_caps_applies_vectorised_and_uncaps():
+    service = make_service(n_nodes=4)
+    client = ServiceClient(service)
+    rm = client.open_session("acme", role="resource_manager")
+    out = rm.result("power.set_caps", indices=[0, 2], watts=[300.0, None])
+    hostnames = [n.hostname for n in service.cluster.nodes]
+    assert out["applied"][hostnames[0]] == 300.0
+    assert out["applied"][hostnames[2]] is None
+    state_caps = service.cluster.state.node_power_cap_w
+    assert state_caps[0] == 300.0
+    assert math.isnan(state_caps[2])
+    assert math.isnan(state_caps[1])  # untouched nodes keep their cap
+
+    by_name = rm.result("power.set_caps", hostnames=[hostnames[1]], watts=280.0)
+    assert by_name["applied"][hostnames[1]] == 280.0
+    assert state_caps[1] == 280.0
+
+
+def test_batch_set_caps_bad_targets():
+    client = ServiceClient(make_service(n_nodes=2))
+    rm = client.open_session("acme", role="resource_manager")
+    assert (
+        rm.call("power.set_caps", indices=[5], watts=100.0).error["code"]
+        == ServiceErrorCode.NO_OBJECT.value
+    )
+    assert (
+        rm.call("power.set_caps", hostnames=["nope"], watts=100.0).error["code"]
+        == ServiceErrorCode.NO_OBJECT.value
+    )
+    assert (
+        rm.call("power.set_caps", watts=100.0).error["code"]
+        == ServiceErrorCode.BAD_REQUEST.value
+    )
+    assert (
+        rm.call("power.set_caps", indices=[0], hostnames=["x"], watts=1.0).error["code"]
+        == ServiceErrorCode.BAD_REQUEST.value
+    )
+    assert (
+        rm.call("power.set_caps", indices=[0, 1], watts=[100.0]).error["code"]
+        == ServiceErrorCode.BAD_REQUEST.value
+    )
+
+
+def test_scoped_session_batch_writes_respect_scope():
+    service = make_service(n_nodes=4)
+    client = ServiceClient(service)
+    hostnames = [n.hostname for n in service.cluster.nodes]
+    scoped = client.open_session(
+        "jobrt", role="runtime", scope_hostnames=hostnames[:2]
+    )
+    inside = scoped.result("power.set_caps", indices=[0, 1], watts=260.0)
+    assert len(inside["applied"]) == 2
+    outside = scoped.call("power.set_caps", indices=[1, 3], watts=260.0)
+    assert outside.error["code"] == ServiceErrorCode.OUT_OF_SCOPE.value
+    # same code as a single out-of-scope context write
+    single = scoped.call(
+        "power.write",
+        path=f"sim-cluster/{hostnames[3]}",
+        attr="power_limit_max",
+        value=260.0,
+    )
+    assert single.error["code"] == ServiceErrorCode.OUT_OF_SCOPE.value
+
+
+def test_batch_set_frequencies():
+    service = make_service(n_nodes=3)
+    client = ServiceClient(service)
+    rm = client.open_session("acme", role="resource_manager")
+    out = rm.result("power.set_frequencies", indices=[0, 1, 2], ghz=2.0)
+    assert len(out["granted"]) == 3
+    for granted in out["granted"].values():
+        assert 0.0 < granted <= 2.0  # clamped + P-state floored
+    assert np.all(service.cluster.state.pkg_freq_target_ghz[:3] <= 2.0)
+
+
+# ---------------------------------------------------------------------------
+# one scripted session covers every registered command
+# ---------------------------------------------------------------------------
+def test_every_command_round_trips_through_the_wire():
+    service = make_service(n_nodes=4, seed=2)
+    client = ServiceClient(service)
+    exercised = set()
+
+    def call(op, session=None, **args):
+        response = rt(client, op, session=session, **args)
+        exercised.add(op)
+        assert response.ok, (op, response.error)
+        return response.result
+
+    call("service.ping", payload={"n": 1})
+    described = call("service.describe")
+    all_ops = {spec["op"] for spec in described["commands"]}
+
+    opened = call(
+        "session.open", tenant="acme", role="resource_manager", quota=500
+    )
+    sid = opened["session"]
+    call("session.info", session=sid)
+
+    node = service.cluster.nodes[0].hostname
+    call("power.read", session=sid, path=f"sim-cluster/{node}", attr="power")
+    call(
+        "power.write",
+        session=sid,
+        path=f"sim-cluster/{node}",
+        attr="power_limit_max",
+        value=320.0,
+    )
+    call("power.read_group", session=sid, obj_type="node", attr="tdp")
+    call("power.snapshot", session=sid)
+    call("power.set_caps", session=sid, indices=[0, 1], watts=300.0)
+    call("power.set_frequencies", session=sid, indices=[0, 1], ghz=2.2)
+
+    job = call(
+        "jobs.submit",
+        session=sid,
+        app={"kind": "stream", "n_iterations": 4},
+        nodes=2,
+        walltime_s=120.0,
+    )
+    call("jobs.query", session=sid, job_id=job["job_id"])
+    call("jobs.list", session=sid)
+    call("runtime.report", session=sid, job_id=job["job_id"])
+    call("runtime.request_power", session=sid, job_id=job["job_id"], watts=50.0)
+    call("runtime.return_power", session=sid, job_id=job["job_id"], watts=10.0)
+    call("jobs.advance", session=sid, duration_s=0.05)
+    call("jobs.run", session=sid)
+    second = call(
+        "jobs.submit", session=sid, app="dgemm", nodes=1, walltime_s=600.0
+    )
+    call("jobs.cancel", session=sid, job_id=second["job_id"])
+    call("jobs.stats", session=sid)
+
+    tuner = call(
+        "tuning.open",
+        session=sid,
+        parameters={"x": [0, 1, 2, 3], "y": [0.5, 1.0]},
+        search="random",
+        batch_size=4,
+    )
+    asked = call("tuning.ask", session=sid, tuner_id=tuner["tuner_id"])
+    call(
+        "tuning.tell",
+        session=sid,
+        tuner_id=tuner["tuner_id"],
+        results=[
+            {"config": config, "objective": config["x"] + config["y"]}
+            for config in asked["configs"]
+        ],
+    )
+    call("tuning.best", session=sid, tuner_id=tuner["tuner_id"])
+    call("tuning.close", session=sid, tuner_id=tuner["tuner_id"])
+    call(
+        "tuning.run",
+        session=sid,
+        parameters={"a": [0.0, 0.5, 1.0, 2.0]},
+        evaluator="quadratic",
+        search="random",
+        max_evals=8,
+        batch_size=4,
+    )
+    call(
+        "campaign.run",
+        session=sid,
+        scenarios=[
+            {
+                "use_case": "uc6",
+                "params": {"n_iterations": 6, "n_nodes": 2},
+                "seeds": [1],
+            }
+        ],
+    )
+
+    call("db.best_for", session=sid, tags={})
+    call("db.top_k", session=sid, k=3)
+    call("db.aggregate", session=sid)
+    call("db.where", session=sid, tags={"tenant": "acme"}, feasible=True)
+    call("db.stats", session=sid)
+    call("session.close", session=sid)
+
+    assert exercised == all_ops, sorted(all_ops - exercised)
+
+
+# ---------------------------------------------------------------------------
+# resource manager plane
+# ---------------------------------------------------------------------------
+def test_job_lifecycle_and_ownership():
+    service = make_service(n_nodes=4)
+    client = ServiceClient(service)
+    owner = client.open_session("owner", role="runtime")
+    intruder = client.open_session("intruder", role="runtime")
+    rm = client.open_session("site", role="resource_manager")
+
+    job = owner.result(
+        "jobs.submit", app={"kind": "stream", "n_iterations": 4}, nodes=1
+    )
+    assert job["user"] == "owner"
+    assert job["state"] in ("running", "pending")
+
+    denied = intruder.call("jobs.cancel", job_id=job["job_id"])
+    assert denied.error["code"] == ServiceErrorCode.NO_PERMISSION.value
+    denied_rt = intruder.call("runtime.report", job_id=job["job_id"])
+    assert denied_rt.error["code"] == ServiceErrorCode.NO_PERMISSION.value
+
+    # The runtime binds its nodes when the job's simulator starts — one
+    # DES step in.
+    rm.result("jobs.advance", duration_s=0.01)
+    report = owner.result("runtime.report", job_id=job["job_id"])
+    assert report["nodes"] == 1.0
+    owner.result("runtime.request_power", job_id=job["job_id"], watts=25.0)
+
+    stats = rm.result("jobs.run")
+    assert stats["stats"]["jobs_completed"] >= 1.0
+    done = owner.result("jobs.query", job_id=job["job_id"])
+    assert done["state"] == "completed"
+
+    missing = owner.call("jobs.query", job_id="nope")
+    assert missing.error["code"] == ServiceErrorCode.NO_JOB.value
+    bad_app = owner.call("jobs.submit", app={"kind": "not-an-app"})
+    assert bad_app.error["code"] == ServiceErrorCode.BAD_REQUEST.value
+    cancel_done = owner.call("jobs.cancel", job_id=job["job_id"])
+    assert cancel_done.error["code"] == ServiceErrorCode.BAD_VALUE.value
+
+
+def test_unrunnable_job_rejected_with_reason():
+    client = ServiceClient(make_service(n_nodes=2))
+    owner = client.open_session("owner", role="runtime")
+    job = owner.result("jobs.submit", app="stream", nodes=64, nodes_min=32, nodes_max=64)
+    assert job["state"] == "failed"
+    assert "no acceptable node count" in job["reject_reason"]
+
+
+# ---------------------------------------------------------------------------
+# tuning plane
+# ---------------------------------------------------------------------------
+def test_tuning_quota_enforced_atomically():
+    client = ServiceClient(make_service())
+    session = client.open_session("tiny", role="runtime", quota=5)
+    tuner = session.result(
+        "tuning.open", parameters={"x": [1, 2, 3, 4, 5, 6]}, search="random", batch_size=6
+    )
+    asked = session.result("tuning.ask", tuner_id=tuner["tuner_id"], n=6)
+    results = [{"config": c, "objective": 1.0} for c in asked["configs"]]
+    denied = session.call("tuning.tell", tuner_id=tuner["tuner_id"], results=results)
+    assert denied.error["code"] == ServiceErrorCode.QUOTA_EXCEEDED.value
+    # Atomic: nothing was charged or recorded by the failed tell.
+    assert session.result("session.info")["used_evaluations"] == 0
+    told = session.result(
+        "tuning.tell", tuner_id=tuner["tuner_id"], results=results[:5]
+    )
+    assert told["recorded"] == 5
+    assert told["quota_remaining"] == 0
+    run_denied = session.call(
+        "tuning.run", parameters={"x": [1, 2]}, evaluator="quadratic", max_evals=4
+    )
+    assert run_denied.error["code"] == ServiceErrorCode.QUOTA_EXCEEDED.value
+
+
+def test_tuning_results_land_in_sharded_database():
+    service = make_service(n_shards=4)
+    client = ServiceClient(service)
+    session = client.open_session("acme", role="runtime")
+    tuner = session.result(
+        "tuning.open", parameters={"x": [0, 1, 2, 3]}, search="grid", batch_size=4
+    )
+    asked = session.result("tuning.ask", tuner_id=tuner["tuner_id"])
+    session.result(
+        "tuning.tell",
+        tuner_id=tuner["tuner_id"],
+        results=[
+            {"config": c, "objective": float(c["x"]), "metrics": {"runtime_s": 1.0}}
+            for c in asked["configs"]
+        ],
+    )
+    records = service.database.lookup(tenant="acme")
+    assert len(records) == len(asked["configs"])
+    assert {r.tags["tuner"] for r in records} == {tuner["tuner_id"]}
+    best = session.result("tuning.best", tuner_id=tuner["tuner_id"])
+    assert best["best"]["objective"] == 0.0
+    # The session key routes all of them onto one shard.
+    sizes = service.database.shard_sizes()
+    assert sorted(sizes)[-1] == len(records)
+
+
+def test_tuning_infeasible_results_are_penalised_not_best():
+    client = ServiceClient(make_service())
+    session = client.open_session("acme", role="runtime")
+    tuner = session.result(
+        "tuning.open", parameters={"x": [0, 1]}, search="grid", batch_size=2
+    )
+    asked = session.result("tuning.ask", tuner_id=tuner["tuner_id"])
+    results = [
+        {"config": asked["configs"][0], "objective": 0.0, "feasible": False},
+        {"config": asked["configs"][1], "objective": 5.0},
+    ]
+    told = session.result("tuning.tell", tuner_id=tuner["tuner_id"], results=results)
+    # The reported best must be deployable: the infeasible 0.0 record is
+    # stored (natural objective) but never surfaces as "best".
+    assert told["best"]["objective"] == 5.0
+    assert told["best"]["feasible"] is True
+    best = session.result("tuning.best", tuner_id=tuner["tuner_id"])
+    assert best["best"]["objective"] == 5.0
+    # Both records are in the capture, the infeasible one flagged.
+    records = session.result("db.where", tags={"tuner": tuner["tuner_id"]})["records"]
+    assert sorted(r["objective"] for r in records) == [0.0, 5.0]
+    assert [r["feasible"] for r in sorted(records, key=lambda r: r["objective"])] == [
+        False,
+        True,
+    ]
+
+
+def test_tuning_errors():
+    client = ServiceClient(make_service())
+    session = client.open_session("acme", role="runtime")
+    assert (
+        session.call("tuning.ask", tuner_id="nope").error["code"]
+        == ServiceErrorCode.NO_TUNER.value
+    )
+    assert (
+        session.call(
+            "tuning.open", parameters={"x": []}, search="random"
+        ).error["code"]
+        == ServiceErrorCode.BAD_REQUEST.value
+    )
+    assert (
+        session.call(
+            "tuning.open", parameters={"x": [1]}, search="not-a-search"
+        ).error["code"]
+        == ServiceErrorCode.BAD_REQUEST.value
+    )
+    assert (
+        session.call(
+            "tuning.run", parameters={"x": [1]}, evaluator="not-registered"
+        ).error["code"]
+        == ServiceErrorCode.BAD_REQUEST.value
+    )
+    tuner = session.result("tuning.open", parameters={"x": [1, 2]}, search="random")
+    bad_tell = session.call(
+        "tuning.tell", tuner_id=tuner["tuner_id"], results=[{"objective": 1.0}]
+    )
+    assert bad_tell.error["code"] == ServiceErrorCode.BAD_REQUEST.value
+
+
+# ---------------------------------------------------------------------------
+# database plane: tenant isolation
+# ---------------------------------------------------------------------------
+def _seed_two_tenants(client):
+    for tenant, objectives in (("acme", [1.0, 3.0]), ("globex", [2.0, 0.5])):
+        session = client.open_session(tenant, role="runtime")
+        tuner = session.result(
+            "tuning.open", parameters={"x": [0, 1]}, search="grid", batch_size=2
+        )
+        asked = session.result("tuning.ask", tuner_id=tuner["tuner_id"])
+        session.result(
+            "tuning.tell",
+            tuner_id=tuner["tuner_id"],
+            results=[
+                {"config": c, "objective": o}
+                for c, o in zip(asked["configs"], objectives)
+            ],
+        )
+
+
+def test_db_queries_are_tenant_scoped_for_working_roles():
+    service = make_service()
+    client = ServiceClient(service)
+    _seed_two_tenants(client)
+
+    acme = client.open_session("acme", role="runtime")
+    assert acme.result("db.aggregate")["count"] == 2.0
+    assert acme.result("db.best_for")["best"]["objective"] == 1.0
+    top = acme.result("db.top_k", k=10)["records"]
+    assert {r["tags"]["tenant"] for r in top} == {"acme"}
+    # An explicit foreign-tenant filter is overridden by the session's
+    # own tenant: no cross-tenant records ever come back.
+    where = acme.result("db.where", tags={"tenant": "globex"})["records"]
+    assert {r["tags"]["tenant"] for r in where} == {"acme"}
+
+    # db.stats is tenant-scoped too: no foreign tenant names or global
+    # record counts leak to a working role.
+    stats = acme.result("db.stats")
+    assert stats["tenants"] == ["acme"]
+    assert stats["n_records"] == 2
+    assert "shard_sizes" not in stats
+
+    monitor = client.open_session("site", role="monitor")
+    assert monitor.result("db.aggregate")["count"] == 4.0
+    assert monitor.result("db.best_for")["best"]["objective"] == 0.5
+    assert len(monitor.result("db.top_k", k=10)["records"]) == 4
+    assert monitor.result("db.stats")["tenants"] == ["acme", "globex"]
+
+
+def test_jobs_list_is_tenant_scoped_for_working_roles():
+    service = make_service()
+    client = ServiceClient(service)
+    a = client.open_session("a", role="runtime")
+    b = client.open_session("b", role="runtime")
+    a.result("jobs.submit", app="stream", nodes=1)
+    b.result("jobs.submit", app="stream", nodes=1)
+    assert {j["user"] for j in a.result("jobs.list")} == {"a"}
+    rm = client.open_session("site", role="resource_manager")
+    assert {j["user"] for j in rm.result("jobs.list")} == {"a", "b"}
+
+
+# ---------------------------------------------------------------------------
+# campaigns
+# ---------------------------------------------------------------------------
+def test_campaign_through_service_captures_tagged_records():
+    service = make_service()
+    client = ServiceClient(service)
+    session = client.open_session("acme", role="runtime", quota=10)
+    summary = session.result(
+        "campaign.run",
+        scenarios=[
+            {"use_case": "uc6", "params": {"n_iterations": 6, "n_nodes": 2}, "seeds": [1]}
+        ],
+        name="svc-camp",
+    )
+    assert summary["n_runs"] == 1
+    assert summary["n_failed"] == 0
+    records = service.database.lookup(tenant="acme", campaign="svc-camp")
+    assert len(records) == 1
+    assert records[0].tags["use_case"] == "uc6"
+    assert session.result("session.info")["used_evaluations"] == 1
+
+    bad = session.call("campaign.run", scenarios=[{"use_case": "uc99"}])
+    assert bad.error["code"] == ServiceErrorCode.BAD_REQUEST.value
+    bad_param = session.call(
+        "campaign.run", scenarios=[{"use_case": "uc6", "params": {"nope": 1}}]
+    )
+    assert bad_param.error["code"] == ServiceErrorCode.BAD_REQUEST.value
+
+
+# ---------------------------------------------------------------------------
+# the JSON-lines driver
+# ---------------------------------------------------------------------------
+def test_run_stream_scripted_session():
+    service = make_service(n_nodes=2)
+    script = "\n".join(
+        [
+            "# control-plane smoke",
+            '{"op":"session.open","args":{"tenant":"ops","role":"resource_manager"}}',
+            "",
+            '{"op":"power.set_caps","session":"s0001-ops","args":{"indices":[0,1],"watts":290.0}}',
+            '{"op":"db.stats","session":"s0001-ops"}',
+            "garbage",
+        ]
+    )
+    out = io.StringIO()
+    handled = run_stream(service, io.StringIO(script + "\n"), out)
+    lines = [Response.from_json(line) for line in out.getvalue().splitlines()]
+    assert handled == 4
+    assert [r.ok for r in lines] == [True, True, True, False]
+    assert lines[-1].error_code == ServiceErrorCode.BAD_REQUEST.value
+
+
+def test_client_raises_helper_and_context_manager():
+    client = ServiceClient(make_service())
+    with pytest.raises(ServiceCallError) as err:
+        client.result("no.such.op")
+    assert err.value.code == ServiceErrorCode.UNKNOWN_COMMAND.value
+    with client.open_session("acme") as session:
+        assert session.result("session.info")["tenant"] == "acme"
+    # closed on exit
+    assert session.call("session.info").error_code == ServiceErrorCode.NO_SESSION.value
+
+
+def test_protocol_version_constant_exported():
+    assert PROTOCOL_VERSION == "1.0"

@@ -319,3 +319,133 @@ def test_aggregate_stats():
     feasible = [r.objective for r in db if r.feasible]
     assert db.aggregate(feasible_only=True)["count"] == len(feasible)
     assert PerformanceDatabase().aggregate() == {"count": 0.0}
+
+
+# -- rebuild / round-trip consistency (control-plane shard persistence) ---------
+
+
+def _records_strategy():
+    """Random evaluation records: finite/∞ objectives, tags, feasibility."""
+    objective = st.one_of(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.just(float("inf")),
+        st.just(1.0),  # force ties
+    )
+    tags = st.dictionaries(
+        st.sampled_from(["tenant", "seed", "use_case"]),
+        st.sampled_from(["a", "b", "3"]),
+        max_size=3,
+    )
+    record = st.builds(
+        EvaluationRecord,
+        config=st.dictionaries(st.sampled_from(["x", "y"]), st.integers(0, 5), max_size=2),
+        metrics=st.dictionaries(
+            st.sampled_from(["runtime_s", "power_w"]),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            max_size=2,
+        ),
+        objective=objective,
+        elapsed_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        feasible=st.booleans(),
+        tags=tags,
+    )
+    return st.lists(record, max_size=25)
+
+
+def _stats_equal(left_stats, right_stats):
+    """Dict equality that treats NaN == NaN (std of a single ±inf is NaN)."""
+    import math
+
+    if set(left_stats) != set(right_stats):
+        return False
+    for key, value in left_stats.items():
+        other = right_stats[key]
+        if isinstance(value, float) and math.isnan(value):
+            if not (isinstance(other, float) and math.isnan(other)):
+                return False
+        elif value != other:
+            return False
+    return True
+
+
+def _assert_databases_identical(left: PerformanceDatabase, right: PerformanceDatabase):
+    """Full observable equivalence: records, indexes, bests, aggregates."""
+    assert [r.to_dict() for r in left] == [r.to_dict() for r in right]
+    assert left._tag_index == right._tag_index
+    for minimize in (True, False):
+        for feasible_only in (True, False):
+            lb = left.best(minimize=minimize, feasible_only=feasible_only)
+            rb = right.best(minimize=minimize, feasible_only=feasible_only)
+            assert (lb is None) == (rb is None)
+            if lb is not None:
+                assert lb.to_dict() == rb.to_dict()
+        assert [r.to_dict() for r in left.top_k(5, minimize=minimize)] == [
+            r.to_dict() for r in right.top_k(5, minimize=minimize)
+        ]
+        assert left.best_so_far(minimize=minimize) == right.best_so_far(minimize=minimize)
+    assert _stats_equal(left.aggregate(), right.aggregate())
+    assert _stats_equal(left.aggregate(feasible_only=True), right.aggregate(feasible_only=True))
+    for key in ("tenant", "seed", "use_case"):
+        assert left.tag_values(key) == right.tag_values(key)
+        for value in left.tag_values(key):
+            assert [r.to_dict() for r in left.lookup(**{key: value})] == [
+                r.to_dict() for r in right.lookup(**{key: value})
+            ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=_records_strategy())
+def test_property_json_round_trip_rebuilds_identically(records):
+    db = PerformanceDatabase.from_records(records, "original")
+    reloaded = PerformanceDatabase.from_json(db.to_json(), "original")
+    _assert_databases_identical(db, reloaded)
+    # A second round trip is the identity (normalisation is idempotent).
+    assert reloaded.to_json() == PerformanceDatabase.from_json(reloaded.to_json()).to_json()
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=_records_strategy())
+def test_property_filter_and_merge_match_rebuild_from_records(records):
+    db = PerformanceDatabase.from_records(records, "all")
+
+    kept = db.filter(lambda r: r.feasible)
+    rebuilt = PerformanceDatabase.from_records(
+        [r for r in records if r.feasible], "all"
+    )
+    _assert_databases_identical(kept, rebuilt)
+
+    half = len(records) // 2
+    merged = PerformanceDatabase.from_records(records[:half], "m").merge(
+        PerformanceDatabase.from_records(records[half:], "n")
+    )
+    _assert_databases_identical(merged, db)
+
+
+def test_merge_with_self_duplicates_once():
+    db = PerformanceDatabase("dup")
+    db.add_evaluation({"x": 1}, {"m": 1.0}, objective=1.0, seed="1")
+    db.add_evaluation({"x": 2}, {"m": 2.0}, objective=2.0, seed="2")
+    db.merge(db)
+    assert len(db) == 4
+    assert [r.config["x"] for r in db] == [1, 2, 1, 2]
+    assert db._tag_index[("seed", "1")] == [0, 2]
+
+
+def test_to_dict_is_json_safe_for_numpy_scalars():
+    import json
+
+    import numpy as np
+
+    record = EvaluationRecord(
+        config={"x": 1},
+        metrics={"m": np.float64(2.5), "flag": np.bool_(True)},
+        objective=np.float64(3.0),
+        elapsed_s=np.float64(0.5),
+        feasible=np.bool_(True),
+        tags={"seed": "1"},
+    )
+    text = json.dumps(record.to_dict())
+    again = EvaluationRecord.from_dict(json.loads(text))
+    assert again.objective == 3.0
+    assert again.metrics == {"m": 2.5, "flag": 1.0}
+    assert again.feasible is True

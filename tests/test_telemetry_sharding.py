@@ -1,0 +1,200 @@
+"""Sharded performance database: fan-out/fan-in parity with a single DB.
+
+The acceptance contract of the control-plane capture layer: a 4-shard
+:class:`ShardedPerformanceDatabase` must answer ``best_for`` / ``top_k``
+/ ``aggregate`` / ``where`` *bit-identically* to one merged
+:class:`PerformanceDatabase` holding the same records in insertion
+order — including stable tie-breaking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import stable_name_key
+from repro.telemetry import PerformanceDatabase, ShardedPerformanceDatabase
+from repro.telemetry.database import EvaluationRecord
+
+
+def _populate(n_records=400, n_tenants=6, seed=0, n_shards=4):
+    """The same random records into a single DB and a sharded DB."""
+    rng = np.random.default_rng(seed)
+    single = PerformanceDatabase("reference")
+    sharded = ShardedPerformanceDatabase(n_shards=n_shards, name="sharded")
+    for i in range(n_records):
+        tenant = f"tenant{int(rng.integers(0, n_tenants))}"
+        # Deliberate ties (1.0 / 2.0) so stable ordering is exercised.
+        objective = float(rng.choice([1.0, 2.0, float(rng.normal())]))
+        kwargs = dict(
+            config={"x": i},
+            metrics={"runtime_s": abs(objective)},
+            objective=objective,
+            elapsed_s=float(rng.random()),
+            feasible=bool(rng.random() > 0.25),
+            tenant=tenant,
+            session=f"{tenant}-s{int(rng.integers(0, 3))}",
+            seed=str(int(rng.integers(0, 4))),
+        )
+        single.add_evaluation(**kwargs)
+        sharded.add_evaluation(**kwargs)
+    return single, sharded
+
+
+def _dicts(records):
+    return [r.to_dict() for r in records]
+
+
+def test_records_keep_global_insertion_order():
+    single, sharded = _populate()
+    assert len(sharded) == len(single)
+    assert _dicts(sharded) == _dicts(single)
+    assert _dicts(sharded.records(feasible_only=True)) == _dicts(
+        single.records(feasible_only=True)
+    )
+
+
+def test_routing_is_deterministic_and_spreads_tenants():
+    _, sharded = _populate()
+    sizes = sharded.shard_sizes()
+    assert sum(sizes) == len(sharded)
+    assert sum(1 for s in sizes if s > 0) >= 2  # tenants spread over shards
+    key = "tenant3/tenant3-s1"
+    assert sharded.shard_index(key) == stable_name_key(key) % sharded.n_shards
+
+
+def test_same_session_records_land_on_one_shard():
+    sharded = ShardedPerformanceDatabase(n_shards=4)
+    for i in range(10):
+        sharded.add_evaluation(
+            {"x": i}, {"m": 1.0}, objective=float(i), tenant="t", session="t-s1"
+        )
+    assert sorted(sharded.shard_sizes()) == [0, 0, 0, 10]
+
+
+def test_best_for_parity_including_ties():
+    single, sharded = _populate()
+    for minimize in (True, False):
+        assert sharded.best_for(minimize=minimize) == single.best_for(minimize=minimize)
+        for tenant in single.tag_values("tenant"):
+            assert sharded.best_for(minimize=minimize, tenant=tenant) == single.best_for(
+                minimize=minimize, tenant=tenant
+            )
+        for seed in single.tag_values("seed"):
+            assert sharded.best_for(
+                minimize=minimize, tenant="tenant1", seed=seed
+            ) == single.best_for(minimize=minimize, tenant="tenant1", seed=seed)
+    assert sharded.best_for(tenant="nobody") is None
+    assert single.best_for(tenant="nobody") is None
+
+
+def test_top_k_parity_stable_ties():
+    single, sharded = _populate()
+    for minimize in (True, False):
+        for k in (0, 1, 7, 50, 1000):
+            assert _dicts(sharded.top_k(k, minimize=minimize)) == _dicts(
+                single.top_k(k, minimize=minimize)
+            )
+
+
+def test_aggregate_parity_bit_identical():
+    single, sharded = _populate()
+    for feasible_only in (False, True):
+        left = sharded.aggregate(feasible_only=feasible_only)
+        right = single.aggregate(feasible_only=feasible_only)
+        assert left == right  # exact float equality, not approx
+
+
+def test_where_parity_and_order():
+    single, sharded = _populate()
+    cases = [
+        dict(feasible=True),
+        dict(feasible=False, tenant="tenant2"),
+        dict(min_objective=0.0, max_objective=1.5),
+        dict(feasible=True, min_objective=-1.0, tenant="tenant0", seed="2"),
+        dict(tenant="nobody"),
+    ]
+    for case in cases:
+        assert _dicts(sharded.where(**case)) == _dicts(single.where(**case))
+    assert _dicts(sharded.lookup(tenant="tenant4")) == _dicts(single.lookup(tenant="tenant4"))
+    assert sharded.tag_values("tenant") == single.tag_values("tenant")
+
+
+def test_best_parity():
+    single, sharded = _populate()
+    for minimize in (True, False):
+        for feasible_only in (True, False):
+            assert sharded.best(
+                minimize=minimize, feasible_only=feasible_only
+            ) == single.best(minimize=minimize, feasible_only=feasible_only)
+
+
+def test_columnar_views_are_globally_ordered():
+    single, sharded = _populate(n_records=100)
+    np.testing.assert_array_equal(sharded.objectives_array(), single.objectives_array())
+    np.testing.assert_array_equal(sharded.feasible_array(), single.feasible_array())
+    np.testing.assert_array_equal(sharded.elapsed_array(), single.elapsed_array())
+
+
+def test_merged_equals_reference():
+    single, sharded = _populate(n_records=60)
+    merged = sharded.merged("flat")
+    assert _dicts(merged) == _dicts(single)
+    assert merged.aggregate() == single.aggregate()
+
+
+def test_merge_flat_database_with_extra_tags():
+    flat = PerformanceDatabase("capture")
+    for i in range(8):
+        flat.add_evaluation({"x": i}, {"m": 1.0}, objective=float(i), seed="1")
+    sharded = ShardedPerformanceDatabase(n_shards=4)
+    sharded.merge(flat, tenant="acme", session="acme-s1")
+    assert len(sharded) == 8
+    assert all(r.tags["tenant"] == "acme" for r in sharded)
+    # All eight share the routing key, so they sit on one shard together.
+    assert sorted(sharded.shard_sizes()) == [0, 0, 0, 8]
+    assert len(flat) == 8  # source untouched
+
+
+def test_save_load_round_trip(tmp_path):
+    single, sharded = _populate(n_records=120)
+    directory = str(tmp_path / "shards")
+    sharded.save(directory)
+    reloaded = ShardedPerformanceDatabase.load(directory)
+    assert reloaded.n_shards == sharded.n_shards
+    assert reloaded.shard_key_tags == sharded.shard_key_tags
+    assert _dicts(reloaded) == _dicts(sharded)
+    assert reloaded.aggregate() == sharded.aggregate()
+    for minimize in (True, False):
+        assert _dicts(reloaded.top_k(9, minimize=minimize)) == _dicts(
+            sharded.top_k(9, minimize=minimize)
+        )
+    # New writes after a reload keep routing consistently.
+    record = reloaded.add_evaluation(
+        {"x": -1}, {"m": 0.0}, objective=-100.0, tenant="tenant0", session="tenant0-s0"
+    )
+    assert reloaded.best_for() == record
+
+
+def test_single_shard_degenerates_to_flat_database():
+    single = PerformanceDatabase("flat")
+    sharded = ShardedPerformanceDatabase(n_shards=1)
+    for i in range(20):
+        kwargs = dict(
+            config={"x": i}, metrics={}, objective=float((-1) ** i * i), tenant=f"t{i % 5}"
+        )
+        single.add_evaluation(**kwargs)
+        sharded.add_evaluation(**kwargs)
+    assert sharded.shard_sizes() == [20]
+    assert _dicts(sharded.top_k(10)) == _dicts(single.top_k(10))
+    assert sharded.aggregate() == single.aggregate()
+
+
+def test_invalid_shard_count_rejected():
+    with pytest.raises(ValueError):
+        ShardedPerformanceDatabase(n_shards=0)
+
+
+def test_explicit_shard_key_overrides_tag_routing():
+    sharded = ShardedPerformanceDatabase(n_shards=4)
+    record = EvaluationRecord(config={}, metrics={}, objective=1.0, tags={"tenant": "a"})
+    explicit = sharded.add(record, shard_key="pinned")
+    assert explicit == sharded.shard_index("pinned")

@@ -31,6 +31,7 @@ PERF_GUARDED_KEYS = {
     "cluster_scale": ("speedup_power_energy",),
     "scheduler_scale": ("speedup",),
     "campaign": ("speedup",),
+    "chaos": ("recovery_passes",),
 }
 PERF_REGRESSION_TOLERANCE = 0.20
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -245,6 +246,11 @@ class TuningResult:
     #: Evaluation-cache statistics (always 0 for the sequential Autotuner).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Retry-with-backoff statistics (``BatchAutotuner`` with
+    #: ``max_retries > 0``): attempts re-issued for failed evaluations,
+    #: and how many of those ultimately succeeded.
+    retried_evaluations: int = 0
+    recovered_evaluations: int = 0
 
     @property
     def found_feasible(self) -> bool:
@@ -406,12 +412,22 @@ class BatchAutotuner(Autotuner):
         executor: Union[str, Any] = "serial",
         max_workers: Optional[int] = None,
         cache_evaluations: bool = False,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
         **kwargs: Any,
     ):
         super().__init__(space, evaluator, **kwargs)
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.batch_size = int(batch_size)
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.retried_evaluations = 0
+        self.recovered_evaluations = 0
         self.executor = make_executor(executor, max_workers=max_workers)
         # The process executor ships the evaluator to its workers once, at
         # pool start-up; it checks picklability here so a bad evaluator
@@ -437,12 +453,40 @@ class BatchAutotuner(Autotuner):
             close()
 
     # -- batch evaluation ------------------------------------------------------------------
+    def _map_with_retries(self, configs: List[Dict[str, Any]]) -> List[_Outcome]:
+        """Executor map that re-issues failed evaluations with backoff.
+
+        Straggling or transiently-poisoned evaluators (chaos profiles,
+        flaky measurement hosts) get up to ``max_retries`` fresh attempts
+        each, with exponential backoff between retry rounds.  The final
+        outcome per position replaces the failed one, so a recovered
+        evaluation is indistinguishable downstream from a first-try
+        success — only the retry counters tell the story.
+        """
+        outcomes = list(self.executor.map(self._call_evaluator, configs))
+        if self.max_retries <= 0:
+            return outcomes
+        for attempt in range(1, self.max_retries + 1):
+            failed_positions = [i for i, (_, was_failed) in enumerate(outcomes) if was_failed]
+            if not failed_positions:
+                break
+            if self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+            retries = [configs[i] for i in failed_positions]
+            self.retried_evaluations += len(retries)
+            for i, outcome in zip(
+                failed_positions, self.executor.map(self._call_evaluator, retries)
+            ):
+                if not outcome[1]:
+                    self.recovered_evaluations += 1
+                outcomes[i] = outcome
+        return outcomes
+
     def _evaluate_batch(self, configs: List[Dict[str, Any]]) -> List[_Outcome]:
         """Outcomes for ``configs`` via cache + executor, in input order."""
         results: Dict[int, _Outcome] = {}
         if self.cache is None:
-            outcomes = self.executor.map(self._call_evaluator, configs)
-            return list(outcomes)
+            return self._map_with_retries(configs)
 
         # Group cache misses by canonical key so within-batch duplicates
         # are evaluated once.
@@ -461,7 +505,7 @@ class BatchAutotuner(Autotuner):
                 pending[key] = [pos]
                 ordered_keys.append(key)
         misses = [configs[pending[key][0]] for key in ordered_keys]
-        for key, outcome in zip(ordered_keys, self.executor.map(self._call_evaluator, misses)):
+        for key, outcome in zip(ordered_keys, self._map_with_retries(misses)):
             self.cache.put(key, outcome)
             for pos in pending[key]:
                 results[pos] = outcome
@@ -531,4 +575,6 @@ class BatchAutotuner(Autotuner):
             convergence=convergence,
             cache_hits=self.cache.hits if self.cache is not None else 0,
             cache_misses=self.cache.misses if self.cache is not None else 0,
+            retried_evaluations=self.retried_evaluations,
+            recovered_evaluations=self.recovered_evaluations,
         )

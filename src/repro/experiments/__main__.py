@@ -121,6 +121,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"--budget-trace given but none of the selected use cases "
             f"{selected} has a budget parameter"
         )
+    fault_profile = args.fault_profile or None
+    if fault_profile is not None:
+        from repro.faults.profiles import PROFILES
+
+        if fault_profile not in PROFILES:
+            raise SystemExit(
+                f"unknown fault profile {fault_profile!r}; known: {sorted(PROFILES)}"
+            )
     scenarios = []
     for name in selected:
         defn = registered[name]
@@ -134,6 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 params=params,
                 seeds=seeds,
                 budget_trace=trace if defn.budget_param else None,
+                fault_profile=fault_profile,
             )
         )
 
@@ -207,6 +216,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="T:W,...",
         help="time-varying per-node budget trace (watts, 'none' = uncapped), "
         "applied to use cases with a budget parameter",
+    )
+    run.add_argument(
+        "--fault-profile",
+        default="",
+        metavar="NAME",
+        help="run every scenario under this named fault-injection profile "
+        "(see repro.faults.profiles; e.g. 'flaky-rack')",
     )
     run.add_argument("--name", default="campaign")
     run.add_argument("--json", default="", help="write the JSON summary here")

@@ -59,6 +59,8 @@ class RunSpec:
     #: Simulation time at which this segment's budget takes effect.
     segment_start_s: Optional[float] = None
     tags: Mapping[str, str] = field(default_factory=dict)
+    #: Named fault profile installed around the run (chaos axis).
+    fault_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
@@ -66,11 +68,14 @@ class RunSpec:
 
     def payload(self) -> Dict[str, Any]:
         """The picklable work item shipped to executor workers."""
-        return {
+        out = {
             "use_case": self.use_case,
             "seed": self.seed,
             "params": dict(self.params),
         }
+        if self.fault_profile is not None:
+            out["fault_profile"] = self.fault_profile
+        return out
 
 
 @dataclass
@@ -93,11 +98,29 @@ def _execute_run(payload: Mapping[str, Any]) -> Dict[str, Any]:
 
     Module-level so the ``process`` executor can ship it by import path;
     the registry repopulates itself inside fresh worker processes.
+
+    A ``fault_profile`` in the payload installs that chaos profile (seeded
+    by the run's seed) around the run — inside the worker, so serial and
+    process executors inject bit-identically — and the injector's event
+    stats land in the result under ``"chaos"``.
     """
     start = time.perf_counter()
-    result = get_use_case(payload["use_case"]).run(
-        seed=payload["seed"], **payload["params"]
-    )
+    profile = payload.get("fault_profile")
+    if profile:
+        from repro.faults import injector as fault_injector
+        from repro.faults import profiles as fault_profiles
+
+        plan = fault_profiles.get_profile(profile, seed=int(payload["seed"]))
+        with fault_injector.injected(plan) as inj:
+            result = get_use_case(payload["use_case"]).run(
+                seed=payload["seed"], **payload["params"]
+            )
+        result = dict(result)
+        result["chaos"] = inj.stats()
+    else:
+        result = get_use_case(payload["use_case"]).run(
+            seed=payload["seed"], **payload["params"]
+        )
     return {"result": result, "elapsed_s": time.perf_counter() - start}
 
 
@@ -135,6 +158,14 @@ class Campaign:
                     f"scenario {scenario.name!r}: use case {scenario.use_case!r} "
                     "has no budget parameter for a budget trace"
                 )
+            if scenario.fault_profile is not None:
+                from repro.faults.profiles import PROFILES
+
+                if scenario.fault_profile not in PROFILES:
+                    raise ValueError(
+                        f"scenario {scenario.name!r}: unknown fault profile "
+                        f"{scenario.fault_profile!r}; known: {sorted(PROFILES)}"
+                    )
         self.scenarios = scenarios
         self.name = name
         self.database = database if database is not None else PerformanceDatabase(name)
@@ -161,6 +192,9 @@ class Campaign:
                     segments.append((index, start_s, params))
             for seed in scenario.seeds:
                 for segment, start_s, params in segments:
+                    tags = dict(scenario.tags)
+                    if scenario.fault_profile is not None:
+                        tags.setdefault("fault_profile", scenario.fault_profile)
                     specs.append(
                         RunSpec(
                             use_case=scenario.use_case,
@@ -169,7 +203,8 @@ class Campaign:
                             params=params,
                             segment=segment,
                             segment_start_s=start_s,
-                            tags=dict(scenario.tags),
+                            tags=tags,
+                            fault_profile=scenario.fault_profile,
                         )
                     )
         return specs
@@ -330,6 +365,11 @@ class CampaignResult:
             if run.spec.segment is not None:
                 entry["segment"] = run.spec.segment
                 entry["segment_start_s"] = run.spec.segment_start_s
+            if run.spec.fault_profile is not None:
+                entry["fault_profile"] = run.spec.fault_profile
+                chaos = (run.result or {}).get("chaos")
+                if isinstance(chaos, dict):
+                    entry["chaos_events"] = chaos.get("events_total")
             runs.append(entry)
         return {
             "campaign": self.name,

@@ -138,6 +138,7 @@ def build_scenario(
     budget_trace: Optional[BudgetTrace] = None,
     name: str = "",
     tags: Optional[Mapping[str, str]] = None,
+    fault_profile: Optional[str] = None,
 ) -> ScenarioSpec:
     """Build a validated :class:`ScenarioSpec` for a registered use case."""
     defn = get_use_case(use_case)
@@ -147,6 +148,13 @@ def build_scenario(
             f"use case {use_case!r} has no budget parameter; "
             "it cannot take a budget-trace axis"
         )
+    if fault_profile is not None:
+        from repro.faults.profiles import PROFILES
+
+        if fault_profile not in PROFILES:
+            raise ValueError(
+                f"unknown fault profile {fault_profile!r}; known: {sorted(PROFILES)}"
+            )
     return ScenarioSpec(
         use_case=use_case,
         name=name,
@@ -154,6 +162,7 @@ def build_scenario(
         seeds=seeds,
         budget_trace=budget_trace,
         tags=tags or {},
+        fault_profile=fault_profile,
     )
 
 

@@ -95,10 +95,18 @@ class ScenarioSpec:
     seeds: Sequence[int] = (1,)
     budget_trace: Optional[BudgetTrace] = None
     tags: Mapping[str, str] = field(default_factory=dict)
+    #: Named fault profile (:mod:`repro.faults.profiles`) installed for
+    #: every run of this scenario — the chaos/QA-conformance axis.
+    #: Validated against the profile registry at campaign-build time.
+    fault_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.use_case or not isinstance(self.use_case, str):
             raise ValueError("use_case must be a non-empty string")
+        if self.fault_profile is not None and (
+            not isinstance(self.fault_profile, str) or not self.fault_profile
+        ):
+            raise ValueError("fault_profile must be None or a non-empty string")
         object.__setattr__(self, "name", str(self.name) or self.use_case)
         object.__setattr__(self, "params", dict(self.params))
         seeds = tuple(int(s) for s in self.seeds)
@@ -127,6 +135,8 @@ class ScenarioSpec:
         }
         if self.budget_trace is not None:
             data["budget_trace"] = self.budget_trace.to_dict()
+        if self.fault_profile is not None:
+            data["fault_profile"] = self.fault_profile
         return data
 
     @classmethod
@@ -139,4 +149,5 @@ class ScenarioSpec:
             seeds=tuple(data.get("seeds", (1,))),
             budget_trace=BudgetTrace.from_dict(trace) if trace is not None else None,
             tags=data.get("tags", {}),
+            fault_profile=data.get("fault_profile"),
         )

@@ -1,0 +1,128 @@
+"""QA conformance battery: invariants chaos runs must preserve.
+
+Fault injection is only useful if recovery is *checkable*: a crash that
+silently loses a job or leaks committed power is worse than no chaos at
+all.  This module collects the invariants the resilience policies
+promise, as plain predicate helpers the test battery (and the chaos
+benchmark) assert after running use cases under fault profiles:
+
+- **no lost or duplicated jobs** — every submitted job reaches a
+  terminal state, and the completion ledger holds each at most once;
+- **conserved accounting** — the committed-power ledger returns to
+  zero, node ownership is fully released (quarantine aside), and both
+  energy meters stay inside the machine's physical capacity envelope;
+- **bit-identical replay** — the same payload under the same fault
+  plan produces the same JSON, serial or process, first run or tenth.
+
+Kept import-light on purpose: the scheduler/campaign objects are passed
+in, never constructed here, so ``repro.faults`` stays importable from
+the hardware layer without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.resource_manager.job import JobState
+
+__all__ = [
+    "scheduler_invariants",
+    "assert_scheduler_invariants",
+    "run_payload_twice",
+    "replay_is_bit_identical",
+]
+
+#: Slack for float ledger comparisons (watts / joules are O(1e3..1e9)).
+_EPS = 1e-6
+
+
+def scheduler_invariants(scheduler) -> Dict[str, bool]:
+    """Evaluate the post-run invariants of a (possibly chaos-ridden) scheduler.
+
+    Expects the scheduler to have been driven to completion
+    (``run_until_complete``).  Quarantined nodes still draining count as
+    accounted-for, not leaked.
+    """
+    jobs = list(scheduler.jobs.values())
+    completed_ids = [job.job_id for job in scheduler.completed]
+    quarantine_owners = {
+        f"__quarantine__:{hostname}" for hostname in scheduler.quarantined
+    }
+    owners = {node.allocated_to for node in scheduler.cluster.nodes if not node.is_free}
+    completed_energies = [
+        job.result.energy_j
+        for job in jobs
+        if job.state is JobState.COMPLETED and job.result is not None
+    ]
+    job_energy = sum(completed_energies)
+    cluster_energy = scheduler.cluster.total_energy_j()
+    # Physical capacity bound: no accounting (site meter or summed job
+    # results) may exceed the whole machine drawing its maximum power
+    # for the whole elapsed time.  Requeue double-counting or a leaked
+    # partial-run record blows through this; sampling-cadence skew
+    # between the two meters does not.
+    capacity_j = sum(
+        node.max_power_w() for node in scheduler.cluster.nodes
+    ) * max(float(scheduler.env.now), 0.0)
+    return {
+        # Every submitted job reached a terminal state — nothing lost.
+        "all_jobs_terminal": all(not job.is_active for job in jobs),
+        # The completion ledger holds each job at most once — nothing
+        # duplicated by a requeue racing a finish.
+        "no_duplicate_completions": len(completed_ids) == len(set(completed_ids)),
+        # The committed-power ledger fully unwound.
+        "power_ledger_zero": abs(scheduler._committed_power_w) < _EPS
+        and not scheduler._commitments,
+        # No job still owns nodes; only quarantine holds are outstanding.
+        "nodes_released": not scheduler._owned_nodes and owners <= quarantine_owners,
+        # free + quarantined covers the machine.
+        "node_count_conserved": scheduler.cluster.state.free_count
+        + len(scheduler.quarantined)
+        == len(scheduler.cluster),
+        # Pending releases in the availability profile are exactly the
+        # quarantine drains.
+        "availability_consistent": len(scheduler._availability)
+        == len(scheduler.quarantined),
+        # Both meters stay within the machine's physical capacity and
+        # every completed job accounts a positive, finite energy.
+        "energy_conserved": (
+            0.0 <= cluster_energy <= capacity_j + _EPS
+            and job_energy <= capacity_j + _EPS
+            and all(0.0 < e < float("inf") for e in completed_energies)
+        ),
+    }
+
+
+def assert_scheduler_invariants(scheduler) -> None:
+    """Raise ``AssertionError`` naming every violated invariant."""
+    checks = scheduler_invariants(scheduler)
+    violated = sorted(name for name, ok in checks.items() if not ok)
+    if violated:
+        raise AssertionError(f"scheduler invariants violated: {violated}")
+
+
+def _normalise(value: Any) -> Any:
+    """JSON-normalise a result payload for bitwise comparison."""
+    if isinstance(value, Mapping):
+        return {str(k): _normalise(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalise(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def run_payload_twice(payload: Mapping[str, Any]) -> tuple:
+    """Execute one campaign payload twice, returning both JSON dumps."""
+    from repro.experiments.campaign import _execute_run
+
+    first = json.dumps(_normalise(_execute_run(dict(payload))["result"]), sort_keys=True)
+    second = json.dumps(_normalise(_execute_run(dict(payload))["result"]), sort_keys=True)
+    return first, second
+
+
+def replay_is_bit_identical(payload: Mapping[str, Any]) -> bool:
+    """Whether a (chaos) run replays bit-for-bit under its fault plan."""
+    first, second = run_payload_twice(payload)
+    return first == second

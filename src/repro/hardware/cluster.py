@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.faults import injector as _faults
 from repro.hardware.node import Node, NodeSpec
 from repro.hardware.state import ClusterState
 from repro.hardware.variation import VariationDraw, VariationModel
@@ -227,6 +228,14 @@ class Cluster:
         """
         caps = np.asarray(per_node_watts, dtype=float)
         previous = self.state.node_power_cap_w.copy()
+        inj = _faults.active()
+        if inj is not None and inj.enabled:
+            # Chaos at the cap-write boundary: eligible nodes may drop or
+            # only partially apply the requested change.  Disabled plans
+            # cost exactly the two checks above.
+            caps = inj.cap_writes(
+                [node.hostname for node in self.nodes], caps, previous
+            )
         applied, cpu_share = self.state.set_node_power_caps(caps)
         has_gpus = self.spec.node.n_gpus > 0
         # Only nodes whose node-level cap actually changed need their

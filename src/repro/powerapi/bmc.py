@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.faults import injector as _faults
 from repro.hardware.cluster import Cluster
 from repro.hardware.node import Node
 
@@ -42,13 +43,20 @@ class SensorSpec:
 
 @dataclass(frozen=True)
 class SensorReading:
-    """One out-of-band sensor sample."""
+    """One out-of-band sensor sample.
+
+    ``stale`` marks a silently-repeated previous sample; ``error`` is a
+    short fault tag (e.g. ``"timeout"``) when the BMC could not produce
+    a fresh value — degraded reads are reported in-band, never raised.
+    """
 
     sensor: str
     time_s: float
     value: float
     units: str
     healthy: bool = True
+    stale: bool = False
+    error: Optional[str] = None
 
 
 @dataclass
@@ -107,6 +115,9 @@ class BmcEndpoint:
         self.readings: List[SensorReading] = []
         self._metrics = _PowerMetrics(interval_s=metrics_interval_s)
         self._last_sample_s: Optional[float] = None
+        #: Last successfully-read value per sensor — what a timed-out or
+        #: stale read falls back to.
+        self._last_values: Dict[str, float] = {}
         #: BMC-enforced node power limit (None = unlimited).  Kept separate
         #: from the in-band cap so tests can check the two surfaces agree.
         self._power_limit_w: Optional[float] = None
@@ -135,6 +146,35 @@ class BmcEndpoint:
         if sensor not in self.sensors:
             raise KeyError(f"unknown sensor {sensor!r}; have {sorted(self.sensors)}")
         spec = self.sensors[sensor]
+
+        inj = _faults.active()
+        fault = None
+        if inj is not None and inj.enabled:
+            fault = inj.sensor_fault(self.node.hostname, sensor)
+        if fault == "timeout":
+            # The read never completes: report the last-known value (0.0
+            # if there is none) flagged unhealthy, instead of raising.
+            reading = SensorReading(
+                sensor=sensor,
+                time_s=float(time_s),
+                value=self._last_values.get(sensor, 0.0),
+                units=spec.units,
+                healthy=False,
+                error="timeout",
+            )
+            self.readings.append(reading)
+            return reading
+        if fault == "stale" and sensor in self._last_values:
+            reading = SensorReading(
+                sensor=sensor,
+                time_s=float(time_s),
+                value=self._last_values[sensor],
+                units=spec.units,
+                stale=True,
+            )
+            self.readings.append(reading)
+            return reading
+
         value = self._quantise(spec, self._raw_value(sensor))
         healthy = True
         if spec.upper_critical is not None and value > spec.upper_critical:
@@ -144,6 +184,7 @@ class BmcEndpoint:
         reading = SensorReading(
             sensor=sensor, time_s=float(time_s), value=value, units=spec.units, healthy=healthy
         )
+        self._last_values[sensor] = value
         self.readings.append(reading)
         return reading
 
@@ -179,6 +220,14 @@ class BmcEndpoint:
             return None
         if watts <= 0:
             raise ValueError("power limit must be positive")
+        inj = _faults.active()
+        if inj is not None and inj.enabled:
+            target = inj.cap_write(self.node.hostname, float(watts), self._power_limit_w)
+            if target is None:
+                # Dropped write with no prior limit: the chassis stays
+                # uncapped and the caller sees the (unchanged) state.
+                return self._power_limit_w
+            watts = target
         applied = self.node.set_power_cap(float(watts))
         self._power_limit_w = applied
         return applied
@@ -322,7 +371,14 @@ class RedfishService:
         """
         if threshold_sigma <= 0:
             raise ValueError("threshold_sigma must be positive")
-        readings = {h: bmc.read_sensor("board_power").value for h, bmc in self.bmcs.items()}
+        # Timed-out reads carry no usable value — exclude them instead of
+        # letting a stuck 0 W sample masquerade as an outlier.
+        readings = {
+            h: r.value
+            for h, bmc in self.bmcs.items()
+            for r in (bmc.read_sensor("board_power"),)
+            if r.error is None
+        }
         values = np.asarray(list(readings.values()), dtype=float)
         if values.size < 2 or float(values.std()) == 0.0:
             return []

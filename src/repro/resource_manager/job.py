@@ -37,6 +37,8 @@ class Job:
     result: Optional[JobResult] = None
     #: GEOPM-style policy metadata recorded at launch (Figure 3 reporting).
     launch_metadata: Dict[str, object] = field(default_factory=dict)
+    #: Times this job was re-queued after a node crash interrupted it.
+    restarts: int = 0
 
     # -- identity helpers --------------------------------------------------------
     @property
@@ -93,6 +95,22 @@ class Job:
     def mark_failed(self, time_s: float) -> None:
         self.state = JobState.FAILED
         self.end_time_s = time_s
+
+    def mark_requeued(self, time_s: float) -> None:
+        """Return an interrupted RUNNING job to PENDING (crash recovery).
+
+        Launch-specific state is reset; ``submit_time_s`` is kept, so
+        wait-time accounting charges the full queue-to-final-start span.
+        """
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"cannot requeue job {self.job_id} in state {self.state}")
+        self.state = JobState.PENDING
+        self.start_time_s = None
+        self.end_time_s = None
+        self.assigned_nodes = []
+        self.power_budget_w = None
+        self.result = None
+        self.restarts += 1
 
     def accounting(self) -> Dict[str, float]:
         """Accounting record for the scheduler statistics."""

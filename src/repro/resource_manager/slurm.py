@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.apps.generator import JobRequest
 from repro.apps.mpi import MpiJobSimulator, RuntimeHooks
+from repro.faults import injector as _faults
 from repro.hardware.cluster import Cluster
 from repro.hardware.node import Node
 from repro.resource_manager.job import Job, JobState
@@ -55,6 +56,11 @@ RuntimeFactory = Callable[[Job, Optional[float], "PowerAwareScheduler"], Runtime
 #: Reservation fallback when the availability profile never frees enough
 #: nodes for the head job (nothing to backfill against).
 PESSIMISTIC_SHADOW_S = 10 * 3600.0
+
+#: Owner-id prefix for nodes drained after a crash.  Quarantine entries
+#: live in the availability profile under this prefix, so the EASY
+#: reservation accounts for repairs-in-progress like any pending release.
+QUARANTINE_PREFIX = "__quarantine__"
 
 
 class NodeAvailabilityProfile:
@@ -143,6 +149,13 @@ class SchedulerConfig:
     #: Optional cap on how long the scheduler keeps scheduling (safety net).
     max_simulated_time_s: Optional[float] = None
     runtime_factory: Optional[RuntimeFactory] = None
+    #: Crash-recovery policy (only exercised under fault injection):
+    #: re-queue interrupted jobs, up to ``max_restarts`` times each, and
+    #: quarantine the dead node for ``quarantine_repair_s`` seconds
+    #: (``None`` = take the repair time from the fault plan).
+    requeue_on_crash: bool = True
+    max_restarts: int = 2
+    quarantine_repair_s: Optional[float] = None
     #: Drive node selection / feasibility / reservations on the cluster's
     #: struct-of-arrays state (the default).  ``False`` selects the scalar
     #: per-``Node``-list reference path, which must stay decision-identical
@@ -154,6 +167,10 @@ class SchedulerConfig:
             raise ValueError("intervals must be positive")
         if self.static_imbalance < 0 or self.imbalance_sigma < 0:
             raise ValueError("imbalance parameters must be >= 0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.quarantine_repair_s is not None and self.quarantine_repair_s <= 0:
+            raise ValueError("quarantine_repair_s must be positive")
 
 
 @dataclass
@@ -173,9 +190,14 @@ class SchedulerStats:
     peak_system_power_w: float = 0.0
     committed_power_w: float = 0.0
     backfilled_jobs: int = 0
+    #: Crash-recovery accounting — populated only under fault injection.
+    jobs_requeued: int = 0
+    nodes_quarantined: int = 0
+    crash_failures: int = 0
+    reclaimed_power_w: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "jobs_submitted": float(self.jobs_submitted),
             "jobs_completed": float(self.jobs_completed),
             "jobs_cancelled": float(self.jobs_cancelled),
@@ -190,6 +212,23 @@ class SchedulerStats:
             "committed_power_w": self.committed_power_w,
             "backfilled_jobs": float(self.backfilled_jobs),
         }
+        # Crash counters appear only when chaos actually fired, so
+        # fault-free runs keep their historical (golden-pinned) shape.
+        if (
+            self.jobs_requeued
+            or self.nodes_quarantined
+            or self.crash_failures
+            or self.reclaimed_power_w
+        ):
+            out.update(
+                {
+                    "jobs_requeued": float(self.jobs_requeued),
+                    "nodes_quarantined": float(self.nodes_quarantined),
+                    "crash_failures": float(self.crash_failures),
+                    "reclaimed_power_w": self.reclaimed_power_w,
+                }
+            )
+        return out
 
 
 class PowerAwareScheduler:
@@ -239,6 +278,15 @@ class PowerAwareScheduler:
         #: EASY invariant (a backfill never delays the head past its
         #: reservation) is asserted against this map by the test suite.
         self.head_reservations: Dict[str, float] = {}
+        #: Crash recovery (fault injection): job_id -> crashed hostname,
+        #: consumed by _job_process when the interrupted simulator unwinds.
+        self._crashed: Dict[str, str] = {}
+        #: Drained nodes: hostname -> estimated repair-complete time.
+        self.quarantined: Dict[str, float] = {}
+        self.jobs_requeued = 0
+        self.nodes_quarantined = 0
+        self.crash_failures = 0
+        self.reclaimed_power_w = 0.0
 
     # -- public API ------------------------------------------------------------------
     def submit(self, request: JobRequest) -> Job:
@@ -327,6 +375,16 @@ class PowerAwareScheduler:
 
     def _sample_power(self) -> None:
         now = self.env.now
+        inj = _faults.active()
+        if inj is not None and inj.enabled:
+            # Thermal excursions land on the monitoring tick: an eligible
+            # node's packages spike, which thermal-aware selection and the
+            # BMC cpu_temp sensor then observe.
+            for hostname, delta_c in inj.thermal_excursions(
+                [node.hostname for node in self.cluster.nodes]
+            ):
+                node = self.cluster.node(hostname)
+                self.cluster.state.pkg_temperature_c[node.node_id] += delta_c
         busy = self.cluster.state.busy_count
         dt = now - self._last_utilization_sample_s
         if dt > 0:
@@ -495,13 +553,18 @@ class PowerAwareScheduler:
         if free >= needed:
             return self.env.now
         releases = sorted(
-            (
-                (job.start_time_s or self.env.now) + job.request.walltime_estimate_s,
-                # The owned-node ledger tracks malleable grow/shrink; the
-                # launch snapshot (assigned_nodes) does not.
-                len(self._owned_nodes.get(job.job_id, job.assigned_nodes)),
-            )
-            for job in self.running.values()
+            [
+                (
+                    (job.start_time_s or self.env.now) + job.request.walltime_estimate_s,
+                    # The owned-node ledger tracks malleable grow/shrink; the
+                    # launch snapshot (assigned_nodes) does not.
+                    len(self._owned_nodes.get(job.job_id, job.assigned_nodes)),
+                )
+                for job in self.running.values()
+            ]
+            # Quarantined nodes free up at their repair time; the
+            # vectorized path reads these from the availability profile.
+            + [(release_s, 1) for release_s in self.quarantined.values()]
         )
         available = free
         for when, count in releases:
@@ -584,16 +647,96 @@ class PowerAwareScheduler:
         )
         self._account_launch(job, nodes, budget_w, backfilled, plan)
         self.env.process(self._job_process(job, sim))
+        inj = _faults.active()
+        if inj is not None and inj.enabled:
+            crash = inj.node_crash(
+                job.job_id,
+                [node.hostname for node in nodes],
+                job.request.walltime_estimate_s,
+            )
+            if crash is not None:
+                self.env.process(self._crash_process(job, sim, *crash))
 
     def _job_process(self, job: Job, sim: MpiJobSimulator):
         result = yield self.env.process(sim.run())
+        crashed_host = self._crashed.pop(job.job_id, None)
+        if crashed_host is not None and job.state is JobState.RUNNING:
+            self._recover_from_crash(job, crashed_host, result)
+            return
         if job.state is JobState.RUNNING:
             job.mark_completed(self.env.now, result)
         else:
             job.result = result
         self._finish(job)
 
-    def _finish(self, job: Job) -> None:
+    def _crash_process(self, job: Job, sim: MpiJobSimulator, hostname: str, delay_s: float):
+        """DES process: kill one of the job's nodes after ``delay_s``.
+
+        A stale crash (the job already finished, or was re-queued and
+        re-launched with a fresh simulator) is a no-op.  Budget reclaim
+        happens here — at detection time — so the runtime's report shows
+        the dead node's share handed back before teardown.
+        """
+        yield self.env.timeout(delay_s)
+        if job.state is not JobState.RUNNING or self._sims.get(job.job_id) is not sim:
+            return
+        self._crashed[job.job_id] = hostname
+        runtime = self.runtime_handles.get(job.job_id)
+        if isinstance(runtime, JobRuntime):
+            self.reclaimed_power_w += runtime.reclaim_node(hostname)
+        sim.cancel()
+
+    def _recover_from_crash(self, job: Job, hostname: str, result) -> None:
+        """Re-queue (or fail) a crash-interrupted job and drain the node."""
+        self._release_allocation(job)
+        self._quarantine_node(hostname)
+        if self.config.requeue_on_crash and job.restarts < self.config.max_restarts:
+            job.mark_requeued(self.env.now)
+            self.jobs_requeued += 1
+            self.queue.push(job)
+        else:
+            job.result = result
+            job.mark_failed(self.env.now)
+            self.crash_failures += 1
+            self.completed.append(job)
+        self._sample_power()
+        self._schedule()
+
+    def _quarantine_node(self, hostname: str) -> None:
+        """Drain a crashed node until its repair completes.
+
+        The node is held by a quarantine owner id (so nothing can launch
+        on it) and the availability profile gains a one-node release at
+        the repair time, keeping the EASY reservation honest about the
+        shrunken machine.
+        """
+        node = self.cluster.node(hostname)
+        if node.allocated_to is not None:
+            return
+        repair_s = self.config.quarantine_repair_s
+        if repair_s is None:
+            inj = _faults.active()
+            repair_s = inj.repair_time_s() if inj is not None else 900.0
+        owner = f"{QUARANTINE_PREFIX}:{hostname}"
+        node.allocate(owner)
+        release_at = self.env.now + float(repair_s)
+        self.quarantined[hostname] = release_at
+        self._availability.add(owner, release_at, 1)
+        self.nodes_quarantined += 1
+        self.env.process(self._repair_process(hostname, owner))
+
+    def _repair_process(self, hostname: str, owner: str):
+        release_at = self.quarantined[hostname]
+        yield self.env.timeout(release_at - self.env.now)
+        node = self.cluster.node(hostname)
+        if node.allocated_to == owner:
+            node.release()
+        self._availability.remove(owner)
+        self.quarantined.pop(hostname, None)
+        self._schedule()
+
+    def _release_allocation(self, job: Job) -> None:
+        """Tear down a launch's ledgers (shared by _finish and crash recovery)."""
         # Release exactly what was committed at launch: a budget retuned
         # while the job ran (e.g. corridor cap tightening) must not skew
         # the committed-power ledger.
@@ -608,6 +751,9 @@ class PowerAwareScheduler:
                 node.release()
         self.running.pop(job.job_id, None)
         self._availability.remove(job.job_id)
+
+    def _finish(self, job: Job) -> None:
+        self._release_allocation(job)
         if job.state is not JobState.CANCELLED:
             self.completed.append(job)
         self._sample_power()
@@ -654,4 +800,8 @@ class PowerAwareScheduler:
             peak_system_power_w=self.power_series.max_power_w(),
             committed_power_w=self._committed_power_w,
             backfilled_jobs=self.backfilled_jobs,
+            jobs_requeued=self.jobs_requeued,
+            nodes_quarantined=self.nodes_quarantined,
+            crash_failures=self.crash_failures,
+            reclaimed_power_w=self.reclaimed_power_w,
         )

@@ -47,6 +47,7 @@ class JobRuntime(RuntimeHooks):
         self.nodes: List[Node] = []
         self._returned_power_w = 0.0
         self._requested_power_w = 0.0
+        self._reclaimed_power_w = 0.0
 
     # -- budget management ------------------------------------------------------
     @property
@@ -76,12 +77,17 @@ class JobRuntime(RuntimeHooks):
     # -- RM-facing interface -------------------------------------------------------
     def report(self) -> Dict[str, float]:
         """Telemetry the runtime reports upward to the resource manager."""
-        return {
+        out = {
             "power_budget_w": self._power_budget_w or 0.0,
             "nodes": float(len(self.nodes)),
             "returned_power_w": self._returned_power_w,
             "requested_power_w": self._requested_power_w,
         }
+        # Only present after a crash actually reclaimed budget, so
+        # fault-free reports keep their historical (golden-pinned) shape.
+        if self._reclaimed_power_w:
+            out["reclaimed_power_w"] = self._reclaimed_power_w
+        return out
 
     def return_power(self, watts: float) -> float:
         """Declare unused power the RM may reclaim (§3.1.1)."""
@@ -96,6 +102,32 @@ class JobRuntime(RuntimeHooks):
             raise ValueError("watts must be >= 0")
         self._requested_power_w = watts
         return watts
+
+    def reclaim_node(self, hostname: str) -> float:
+        """Drop an unresponsive node and hand its budget share back.
+
+        The RM calls this when a node dies mid-job: the node leaves the
+        runtime's control set, the job budget shrinks by the dead node's
+        even share (which is returned, in watts, for the RM's ledger),
+        and the remainder is redistributed over the survivors.  Unknown
+        hostnames reclaim nothing.
+        """
+        index = next(
+            (i for i, node in enumerate(self.nodes) if node.hostname == hostname),
+            None,
+        )
+        if index is None:
+            return 0.0
+        share = self.per_node_budget_w()
+        del self.nodes[index]
+        if share is None:
+            return 0.0
+        remaining = self._power_budget_w - share
+        self._power_budget_w = remaining if remaining > 0 else None
+        self._reclaimed_power_w += share
+        if self.nodes and self._power_budget_w is not None:
+            self.distribute_budget()
+        return share
 
     # -- hook plumbing ----------------------------------------------------------------
     def on_job_start(self, sim: MpiJobSimulator) -> None:

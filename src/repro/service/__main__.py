@@ -43,7 +43,14 @@ def run_stream(service: StackService, lines: IO[str], out: IO[str], prompt: str 
             continue
         if prompt and line in ("exit", "quit"):
             break
-        out.write(service.handle_wire(line) + "\n")
+        try:
+            response = service.handle_wire(line)
+        except Exception as error:  # the REPL loop must outlive any request
+            response = (
+                '{"ok": false, "code": "SVC_RET_INTERNAL", '
+                f'"error": "unhandled {type(error).__name__} in transport"}}'
+            )
+        out.write(response + "\n")
         out.flush()
         handled += 1
     return handled

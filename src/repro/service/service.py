@@ -377,12 +377,34 @@ class StackService:
             return Response.failure(error.code, error.message).to_dict()
         return self.handle(request).to_dict()
 
+    #: Upper bound on one wire line.  A transport feeding the service
+    #: unbounded garbage gets a structured BAD_REQUEST, not memory
+    #: pressure from parsing an arbitrarily large document.
+    MAX_REQUEST_BYTES = 1 << 20
+
     def handle_wire(self, line: str) -> str:
-        """One JSON line in, one JSON line out (the stdin driver's path)."""
+        """One JSON line in, one JSON line out (the stdin driver's path).
+
+        Never raises: malformed, hostile or oversized input — including
+        input whose parse fails with something other than ``ValueError``
+        (deep nesting hitting the recursion limit, say) — comes back as
+        a structured failure envelope.
+        """
         try:
+            if len(line) > self.MAX_REQUEST_BYTES:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    f"request of {len(line)} bytes exceeds the "
+                    f"{self.MAX_REQUEST_BYTES}-byte wire limit",
+                )
             request = Request.from_json(line)
         except ServiceError as error:
             return Response.failure(error.code, error.message).to_json()
+        except Exception as error:  # parse failures beyond from_json's map
+            return Response.failure(
+                ServiceErrorCode.BAD_REQUEST,
+                f"malformed request: {type(error).__name__}: {error}",
+            ).to_json()
         return self.handle(request).to_json()
 
     def _session_of(self, request: Request) -> Session:
@@ -664,6 +686,29 @@ class StackService:
                 "db.stats",
                 self._cmd_db_stats,
                 "Shard layout and record counts.",
+                (),
+            ),
+            CommandSpec(
+                "chaos.inject",
+                self._cmd_chaos_inject,
+                "Install a named fault-injection profile on the service's "
+                "power/scheduler planes (operator roles).",
+                (
+                    ArgSpec("profile", "str", required=True, doc="registered profile name"),
+                    ArgSpec("seed", "int", doc="fault-plan seed (default 0)"),
+                    ArgSpec("enabled", "bool", doc="install disarmed when false"),
+                ),
+            ),
+            CommandSpec(
+                "chaos.status",
+                self._cmd_chaos_status,
+                "Active fault plan and injection-event counters.",
+                (),
+            ),
+            CommandSpec(
+                "chaos.clear",
+                self._cmd_chaos_clear,
+                "Remove the active fault plan (operator roles).",
                 (),
             ),
         ]
@@ -1252,7 +1297,6 @@ class StackService:
                 f"unknown evaluator {evaluator!r}; registered: {sorted(EVALUATOR_REGISTRY)}",
             )
         space = self._make_space(parameters)
-        session.charge(int(max_evals))
         self._run_counter += 1
         run_id = f"run-{self._run_counter:04d}"
         if seed is None:
@@ -1270,11 +1314,22 @@ class StackService:
             )
         except ValueError as error:
             raise ServiceError(ServiceErrorCode.BAD_REQUEST, str(error)) from error
-        result = tuner.run()
-        tuner.close()
-        # max_evals was charged as a reservation up front; refund the
-        # slots an early-exhausted search never spent.
-        session.used_evaluations -= max(0, int(max_evals) - result.evaluations)
+        # Charge the whole budget as a reservation only once the tuner is
+        # actually constructed (a rejected config must cost nothing), and
+        # unwind it in ``finally`` so an evaluator exploding mid-batch
+        # refunds the slots it never consumed instead of leaking them.
+        session.charge(int(max_evals))
+        try:
+            result = tuner.run()
+        except Exception as error:
+            raise ServiceError(
+                ServiceErrorCode.INTERNAL,
+                f"evaluator {evaluator!r} failed mid-run: "
+                f"{type(error).__name__}: {error}",
+            ) from error
+        finally:
+            session.used_evaluations -= max(0, int(max_evals) - len(tuner.database))
+            tuner.close()
         self.database.merge(
             result.database,
             tenant=session.tenant,
@@ -1418,3 +1473,48 @@ class StackService:
             "shard_sizes": self.database.shard_sizes(),
             "tenants": self.database.tag_values("tenant"),
         }
+
+    # -- chaos plane -------------------------------------------------------
+    def _cmd_chaos_inject(
+        self,
+        session: Session,
+        profile: str,
+        seed: int = 0,
+        enabled: bool = True,
+    ) -> Dict[str, Any]:
+        self._require_working_role(session, "inject faults")
+        from repro.faults import injector as fault_injector
+        from repro.faults import profiles as fault_profiles
+
+        try:
+            plan = fault_profiles.get_profile(
+                str(profile), seed=int(seed), enabled=bool(enabled)
+            )
+        except KeyError as error:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST, str(error.args[0])
+            ) from None
+        injector = fault_injector.install(plan)
+        return {
+            "profile": plan.name,
+            "seed": plan.seed,
+            "enabled": injector.enabled,
+            "kinds": sorted(plan.kinds),
+        }
+
+    def _cmd_chaos_status(self, session: Session) -> Dict[str, Any]:
+        from repro.faults import injector as fault_injector
+
+        injector = fault_injector.active()
+        if injector is None:
+            return {"active": False}
+        return {"active": True, **injector.stats()}
+
+    def _cmd_chaos_clear(self, session: Session) -> Dict[str, Any]:
+        self._require_working_role(session, "clear fault plans")
+        from repro.faults import injector as fault_injector
+
+        injector = fault_injector.clear()
+        if injector is None:
+            return {"cleared": False}
+        return {"cleared": True, **injector.stats()}

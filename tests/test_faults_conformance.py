@@ -1,0 +1,135 @@
+"""QA conformance battery: every §3.2 use case runs to completion under
+at least one fault profile, with the resilience invariants asserted —
+no lost jobs, conserved accounting, sharded==merged database parity,
+and bit-identical replay (serial and process) for a fixed seed."""
+
+import json
+
+import pytest
+
+from repro.experiments import Campaign, build_scenario
+from repro.experiments.campaign import RunSpec
+from repro.experiments.registry import scalar_metrics
+from repro.faults import injector as faults
+from repro.faults.conformance import replay_is_bit_identical
+from repro.faults.profiles import get_profile
+from repro.telemetry.sharding import ShardedPerformanceDatabase
+
+#: GOLDEN_CASES-scale parameters (tests/golden/regen.py) so the battery
+#: stays cheap, paired with the fault profile each use case runs under.
+BATTERY = {
+    "uc1": ({"n_nodes": 4, "per_node_budget_w": 280.0, "max_evals": 6}, "flaky-rack"),
+    "uc2": (
+        {
+            "n_nodes": 4,
+            "per_node_budget_w": 280.0,
+            "n_iterations": 10,
+            "include_policy_modes": False,
+        },
+        "flaky-rack",
+    ),
+    "uc3": ({"max_evals": 8, "node_power_cap_w": 240.0, "search": "random"}, "straggler"),
+    "uc4": ({"n_nodes": 2, "objective": "energy_j", "production_iterations": 6}, "bmc-chaos"),
+    "uc5": ({"n_nodes": 8, "n_jobs": 2, "iterations": 6}, "node-crash"),
+    "uc6": ({"n_nodes": 2, "n_iterations": 8}, "flaky-rack"),
+    "uc7": ({"n_nodes": 2, "n_iterations": 8}, "all"),
+}
+
+
+def chaos_scenario(uc, seeds=(1,)):
+    params, profile = BATTERY[uc]
+    return build_scenario(uc, params=params, seeds=seeds, fault_profile=profile)
+
+
+def dumps(result):
+    return json.dumps(result, sort_keys=True, default=str)
+
+
+@pytest.mark.parametrize("uc", sorted(BATTERY))
+def test_use_case_completes_under_fault_profile(uc):
+    """The acceptance gate: chaos degrades results, never completion."""
+    result = Campaign([chaos_scenario(uc)], name=f"battery-{uc}").run()
+    assert faults.active() is None  # the injector never leaks out of a run
+    (run,) = result.runs
+    assert run.feasible and run.error is None
+    assert run.result is not None
+    # The chaos telemetry rode back with the result.
+    chaos = run.result["chaos"]
+    params, profile = BATTERY[uc]
+    assert chaos["profile"] == profile and chaos["enabled"]
+    assert chaos["seed"] == 1
+    # Job accounting conserved wherever the result embeds scheduler stats.
+    metrics = scalar_metrics(run.result)
+    for key, submitted in metrics.items():
+        if not key.endswith("jobs_submitted"):
+            continue
+        prefix = key[: -len("jobs_submitted")]
+        completed = metrics[prefix + "jobs_completed"]
+        cancelled = metrics.get(prefix + "jobs_cancelled", 0.0)
+        failures = metrics.get(prefix + "crash_failures", 0.0)
+        assert completed >= 1.0
+        assert completed + cancelled + failures <= submitted + 1e-9
+
+
+def test_battery_profiles_actually_fire():
+    """The battery is not a placebo: across the battery, faults inject."""
+    result = Campaign(
+        [chaos_scenario(uc) for uc in sorted(BATTERY)], name="battery-all"
+    ).run()
+    fired = sum(run.result["chaos"]["events_total"] for run in result.runs)
+    assert fired > 0
+
+
+def test_chaos_run_replays_bit_identically():
+    """Same payload, same fault plan → byte-identical result JSON."""
+    for uc in ("uc5", "uc6"):
+        (spec,) = Campaign([chaos_scenario(uc)]).expand()
+        assert isinstance(spec, RunSpec)
+        assert replay_is_bit_identical(spec.payload()), uc
+
+
+def test_chaos_serial_matches_process_executor():
+    """Chaos installs inside the worker, so executor choice is invisible."""
+    serial = Campaign([chaos_scenario("uc6", seeds=(1, 2))], name="s").run(
+        executor="serial"
+    )
+    process = Campaign([chaos_scenario("uc6", seeds=(1, 2))], name="p").run(
+        executor="process", max_workers=2
+    )
+    assert [dumps(r.result) for r in serial.runs] == [
+        dumps(r.result) for r in process.runs
+    ]
+    assert [r.metrics for r in serial.runs] == [r.metrics for r in process.runs]
+
+
+def test_chaos_records_shard_and_merge_consistently():
+    """Sharded == merged parity holds for chaos-tagged records too."""
+    result = Campaign(
+        [chaos_scenario("uc6", seeds=(1, 2)), chaos_scenario("uc7", seeds=(1, 2))],
+        name="shard-parity",
+    ).run()
+    sharded = ShardedPerformanceDatabase(n_shards=3, name="chaos")
+    sharded.merge(result.database)
+    assert len(sharded) == len(result.database)
+    assert [r.to_dict() for r in sharded.merged()] == [
+        r.to_dict() for r in result.database
+    ]
+    # The fault profile is a queryable tag on every record.
+    assert sharded.tag_values("fault_profile") == ["all", "flaky-rack"]
+
+
+def test_disabled_plan_is_bit_identical_to_no_injector():
+    """FaultPlan(enabled=False) must not perturb results at all."""
+    from repro.experiments.registry import run_registered
+
+    params, _ = BATTERY["uc6"]
+    baseline = run_registered("uc6", seed=1, **params)
+    with faults.injected(get_profile("flaky-rack", seed=1, enabled=False)) as inj:
+        disarmed = run_registered("uc6", seed=1, **params)
+        assert inj.stats()["events_total"] == 0
+    assert dumps(baseline) == dumps(disarmed)
+
+
+def test_scenario_rejects_unknown_fault_profile():
+    with pytest.raises(ValueError, match="unknown fault profile"):
+        build_scenario("uc6", params=BATTERY["uc6"][0], fault_profile="gremlins")

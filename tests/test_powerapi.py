@@ -18,6 +18,7 @@ from repro.powerapi import (
     RedfishService,
     Role,
 )
+from repro.powerapi.bmc import SensorSpec
 from repro.powerapi.context import ErrorCode, NodeProvider, SocketProvider
 from repro.powerapi.objects import ATTRIBUTE_SPECS, AttrAccess, AttributeProvider
 from repro.powerapi.roles import default_permissions, merge_permissions
@@ -416,6 +417,50 @@ def test_redfish_outlier_threshold_validation():
     svc = RedfishService(small_cluster(n_nodes=2))
     with pytest.raises(ValueError):
         svc.outlier_chassis(threshold_sigma=0.0)
+
+
+def test_sensor_threshold_breach_reported_unhealthy():
+    node = Node(NodeSpec(), hostname="n0")
+    bmc = BmcEndpoint(node)
+    # Tighten the inlet threshold below ambient: the read must come back
+    # flagged, not raise and not be silently clamped.
+    bmc.sensors["inlet_temp"] = SensorSpec(
+        "inlet_temp", "degC", resolution=0.5, upper_critical=bmc.ambient_c - 5.0
+    )
+    reading = bmc.read_sensor("inlet_temp")
+    assert not reading.healthy
+    assert reading.error is None and not reading.stale
+    assert reading.value == pytest.approx(bmc.ambient_c)
+
+
+def test_sensor_lower_threshold_breach_reported_unhealthy():
+    node = Node(NodeSpec(), hostname="n0")
+    bmc = BmcEndpoint(node)
+    bmc.sensors["inlet_temp"] = SensorSpec(
+        "inlet_temp", "degC", resolution=0.5, lower_critical=bmc.ambient_c + 5.0
+    )
+    assert not bmc.read_sensor("inlet_temp").healthy
+
+
+def test_redfish_patch_power_limit_rejects_unknown_chassis():
+    svc = RedfishService(small_cluster(n_nodes=2))
+    with pytest.raises(KeyError, match="unknown chassis"):
+        svc.patch_power_limit("ghost-node", 300.0)
+
+
+def test_redfish_outlier_zero_variance_returns_empty():
+    """Identical readings (std == 0) must not divide by zero or flag anyone."""
+    cluster = small_cluster(n_nodes=4)
+    svc = RedfishService(cluster)
+    for node in cluster.nodes:
+        node.allocated_to = "job"
+        node.current_power_w = 400.0
+    assert svc.outlier_chassis(threshold_sigma=1.0) == []
+
+
+def test_redfish_outlier_single_chassis_returns_empty():
+    svc = RedfishService(small_cluster(n_nodes=1))
+    assert svc.outlier_chassis() == []
 
 
 # ---------------------------------------------------------------------------

@@ -486,6 +486,10 @@ def test_every_command_round_trips_through_the_wire():
     call("db.aggregate", session=sid)
     call("db.where", session=sid, tags={"tenant": "acme"}, feasible=True)
     call("db.stats", session=sid)
+
+    call("chaos.inject", session=sid, profile="bmc-chaos", seed=3)
+    call("chaos.status", session=sid)
+    call("chaos.clear", session=sid)
     call("session.close", session=sid)
 
     assert exercised == all_ops, sorted(all_ops - exercised)
@@ -777,3 +781,147 @@ def test_client_raises_helper_and_context_manager():
 
 def test_protocol_version_constant_exported():
     assert PROTOCOL_VERSION == "1.0"
+
+
+# ---------------------------------------------------------------------------
+# wire hardening (malformed / hostile input)
+# ---------------------------------------------------------------------------
+def test_wire_rejects_oversized_request():
+    service = make_service(n_nodes=2)
+    huge = '{"op":"service.ping","args":{"payload":"' + "x" * service.MAX_REQUEST_BYTES + '"}}'
+    response = Response.from_json(service.handle_wire(huge))
+    assert not response.ok
+    assert response.error_code == ServiceErrorCode.BAD_REQUEST.value
+    assert "wire limit" in response.error["message"]
+
+
+def test_wire_survives_pathologically_nested_json():
+    """Deep nesting blows Python's recursion limit inside the JSON parser;
+    the service must answer with a structured error, not raise."""
+    service = make_service(n_nodes=2)
+    depth = 50_000
+    bomb = '{"op": ' + "[" * depth + "]" * depth + "}"
+    response = Response.from_json(service.handle_wire(bomb))
+    assert not response.ok
+    assert response.error_code == ServiceErrorCode.BAD_REQUEST.value
+
+
+def test_run_stream_outlives_hostile_lines():
+    """The REPL loop answers every hostile line and keeps serving."""
+    service = make_service(n_nodes=2)
+    depth = 50_000
+    script = "\n".join(
+        [
+            '{"op": ' + "[" * depth + "]" * depth + "}",
+            "not json at all",
+            '{"op":"service.ping","args":{"payload":1}}',
+        ]
+    )
+    out = io.StringIO()
+    handled = run_stream(service, io.StringIO(script + "\n"), out)
+    lines = [Response.from_json(line) for line in out.getvalue().splitlines()]
+    assert handled == 3
+    assert [r.ok for r in lines] == [False, False, True]
+    assert all(
+        r.error_code == ServiceErrorCode.BAD_REQUEST.value for r in lines[:2]
+    )
+
+
+# ---------------------------------------------------------------------------
+# tuning.run resilience (quota accounting on evaluator crashes)
+# ---------------------------------------------------------------------------
+def _metricless_evaluator(config):
+    # runtime_s=None breaks the objective extraction *after* the evaluator
+    # call, i.e. mid-batch inside tuner.run() — the quota-leak path.
+    return {"runtime_s": None}
+
+
+def test_tuning_run_evaluator_crash_refunds_quota_and_recovers():
+    from repro.service.service import EVALUATOR_REGISTRY, register_evaluator
+
+    register_evaluator("crash-test", _metricless_evaluator)
+    try:
+        client = ServiceClient(make_service(n_nodes=2))
+        session = client.open_session("acme", role="runtime", quota=20)
+        failed = session.call(
+            "tuning.run",
+            parameters={"x": [1, 2, 3, 4]},
+            evaluator="crash-test",
+            max_evals=8,
+            batch_size=2,
+        )
+        assert failed.error["code"] == ServiceErrorCode.INTERNAL.value
+        assert "failed mid-run" in failed.error["message"]
+        # The unconsumed reservation was refunded and the tuner closed, so
+        # the same session can spend its full remaining quota cleanly.
+        assert session.result("session.info")["used_evaluations"] == 0
+        ok = session.result(
+            "tuning.run",
+            parameters={"x": [1.0, 2.0, 3.0, 4.0]},
+            evaluator="quadratic",
+            max_evals=4,
+            batch_size=2,
+        )
+        assert ok["evaluations"] == 4
+        assert session.result("session.info")["used_evaluations"] == 4
+    finally:
+        del EVALUATOR_REGISTRY["crash-test"]
+
+
+def test_tuning_run_rejected_config_charges_nothing():
+    client = ServiceClient(make_service(n_nodes=2))
+    session = client.open_session("acme", role="runtime", quota=10)
+    rejected = session.call(
+        "tuning.run",
+        parameters={"x": [1, 2]},
+        evaluator="quadratic",
+        search="no-such-search",
+        max_evals=4,
+    )
+    assert rejected.error["code"] == ServiceErrorCode.BAD_REQUEST.value
+    assert session.result("session.info")["used_evaluations"] == 0
+
+
+# ---------------------------------------------------------------------------
+# chaos plane
+# ---------------------------------------------------------------------------
+def test_chaos_inject_status_clear_round_trip():
+    from repro.faults import injector as faults
+
+    client = ServiceClient(make_service(n_nodes=4))
+    session = client.open_session("ops", role="resource_manager")
+    try:
+        assert session.result("chaos.status") == {"active": False}
+        installed = session.result("chaos.inject", profile="bmc-chaos", seed=7)
+        assert installed["profile"] == "bmc-chaos" and installed["enabled"]
+        assert installed["kinds"] == ["bmc_stale", "bmc_timeout", "cap_write"]
+        # Drive the power plane so the injector sees traffic.
+        for watts in (250.0, 240.0, 230.0, 220.0):
+            session.result("power.set_caps", indices=[0, 1, 2, 3], watts=watts)
+        status = session.result("chaos.status")
+        assert status["active"] and status["seed"] == 7
+        cleared = session.result("chaos.clear")
+        assert cleared["cleared"]
+        assert session.result("chaos.status") == {"active": False}
+        assert session.result("chaos.clear") == {"cleared": False}
+    finally:
+        faults.clear()
+
+
+def test_chaos_inject_unknown_profile_rejected():
+    client = ServiceClient(make_service(n_nodes=2))
+    session = client.open_session("ops", role="resource_manager")
+    denied = session.call("chaos.inject", profile="gremlins")
+    assert denied.error["code"] == ServiceErrorCode.BAD_REQUEST.value
+    assert "unknown fault profile" in denied.error["message"]
+
+
+def test_chaos_inject_requires_working_role():
+    from repro.faults import injector as faults
+
+    client = ServiceClient(make_service(n_nodes=2))
+    monitor = client.open_session("watcher", role="monitor")
+    denied = monitor.call("chaos.inject", profile="all")
+    assert not denied.ok and faults.active() is None
+    # Reads stay open to monitors.
+    assert monitor.result("chaos.status") == {"active": False}

@@ -32,6 +32,7 @@ PERF_GUARDED_KEYS = {
     "scheduler_scale": ("speedup",),
     "campaign": ("speedup",),
     "chaos": ("recovery_passes",),
+    "durability": ("append_runs_per_sec", "recover_runs_per_sec"),
 }
 PERF_REGRESSION_TOLERANCE = 0.20
 

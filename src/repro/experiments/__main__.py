@@ -156,7 +156,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"[executor={args.executor}]",
             file=sys.stderr,
         )
-    result = campaign.run(executor=args.executor, max_workers=args.max_workers)
+    if args.resume and not args.journal_dir:
+        raise SystemExit("--resume requires --journal-dir")
+    result = campaign.run(
+        executor=args.executor,
+        max_workers=args.max_workers,
+        journal_dir=args.journal_dir or None,
+        resume=args.resume,
+        run_budget=args.run_budget,
+    )
+    if result.aborted and not args.quiet:
+        print(
+            f"campaign aborted after run budget; resume with --resume "
+            f"--journal-dir {args.journal_dir}",
+            file=sys.stderr,
+        )
     if args.out_dir:
         # One PerformanceDatabase JSON shard per scenario: these files are
         # loadable with PerformanceDatabase.load and compose with the
@@ -223,6 +237,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="NAME",
         help="run every scenario under this named fault-injection profile "
         "(see repro.faults.profiles; e.g. 'flaky-rack')",
+    )
+    run.add_argument(
+        "--journal-dir",
+        default="",
+        metavar="DIR",
+        help="write-ahead journal directory: every finished run is logged "
+        "here so a killed campaign can be resumed bit-identically",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --journal-dir, skipping runs it already records",
+    )
+    run.add_argument(
+        "--run-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N pending runs then stop (campaign is "
+        "marked aborted; finish it later with --resume)",
     )
     run.add_argument("--name", default="campaign")
     run.add_argument("--json", default="", help="write the JSON summary here")

@@ -17,6 +17,7 @@ per-run seeds from one base seed the same way in every process.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -77,6 +78,18 @@ class RunSpec:
             out["fault_profile"] = self.fault_profile
         return out
 
+    def key(self) -> str:
+        """Stable identity of this run within its campaign grid.
+
+        Scenario names are unique per campaign and (seed, segment) pairs
+        are unique per scenario, so the key is unique across the grid —
+        it is what the resume journal records a completed run under.
+        """
+        key = f"{self.use_case}|{self.scenario}|seed={self.seed}"
+        if self.segment is not None:
+            key += f"|segment={self.segment}"
+        return key
+
 
 @dataclass
 class RunResult:
@@ -130,6 +143,51 @@ def _call_run(payload: Mapping[str, Any]) -> Tuple[Dict[str, Any], bool]:
         return _execute_run(payload), False
     except Exception as error:  # failures are campaign data, not crashes
         return {"error": 1.0, "error_message": str(error)}, True
+
+
+def _process_outcome(
+    spec: RunSpec, value: Mapping[str, Any], failed: bool
+) -> Dict[str, Any]:
+    """Reduce one raw worker outcome to its journal-serialisable entry.
+
+    Everything a database record and a :class:`RunResult` are built from
+    lands here as plain JSON types, so a run replayed from the resume
+    journal produces records bit-identical to the run that executed
+    (floats survive a JSON round trip exactly).
+    """
+    defn = get_use_case(spec.use_case)
+    chaos: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    if failed:
+        # Normalised failure marker: the serial/thread path carries the
+        # exception message and the process path only a hash, so neither
+        # lands in the metrics — the database record must be identical
+        # whichever executor ran the campaign.
+        metrics: Dict[str, float] = {"error": 1.0}
+        raw_message = value.get("error_message")
+        error = str(raw_message) if raw_message is not None else None
+        run_elapsed = 0.0
+    else:
+        result = value["result"]
+        metrics = scalar_metrics(result)
+        run_elapsed = float(value["elapsed_s"])
+        if isinstance(result, Mapping) and isinstance(result.get("chaos"), dict):
+            chaos = dict(result["chaos"])
+    objective = metrics.get(defn.objective_metric)
+    feasible = (not failed) and objective is not None
+    if objective is None:
+        # Keep best-for queries sane in both directions.
+        objective = float("inf") if defn.minimize else float("-inf")
+    entry: Dict[str, Any] = {
+        "metrics": metrics,
+        "objective": float(objective),
+        "feasible": bool(feasible),
+        "elapsed_s": run_elapsed,
+        "error": error,
+    }
+    if chaos is not None:
+        entry["chaos"] = chaos
+    return entry
 
 
 class Campaign:
@@ -215,8 +273,11 @@ class Campaign:
         executor: Union[str, Any] = "serial",
         max_workers: Optional[int] = None,
         keep_results: bool = True,
+        journal_dir: Optional[str] = None,
+        resume: bool = False,
+        run_budget: Optional[int] = None,
     ) -> "CampaignResult":
-        """Run the whole grid; returns the captured results.
+        """Run the grid (or the part of it not yet journaled as done).
 
         ``executor`` is a :func:`~repro.core.tuner.make_executor` spec.
         Results land in ``self.database`` (and in the returned result
@@ -224,44 +285,122 @@ class Campaign:
         executors produce identical databases for the same campaign.
         ``keep_results=False`` drops the raw per-run payload dictionaries
         after metric extraction (large campaigns, bounded memory).
+
+        Durability: with ``journal_dir`` set, every completed run's
+        processed outcome is appended to a crash-safe
+        :class:`~repro.durability.runlog.CampaignJournal` the moment its
+        wave finishes (waves are one run for the serial executor, one
+        worker-batch otherwise) — a killed campaign loses at most the
+        in-flight wave.  ``resume=True`` replays journaled outcomes and
+        executes only the remaining runs; since per-run RNG derives from
+        the run's seed, the resumed capture is bit-identical to an
+        uninterrupted pass (wall-clock aside).  ``run_budget`` caps the
+        number of runs *executed* this invocation (journaled replays are
+        free); when the budget ends the campaign early, the returned
+        result is partial and flagged ``aborted`` — re-invoke with
+        ``resume=True`` to finish.
         """
+        if resume and journal_dir is None:
+            raise ValueError("resume=True requires journal_dir")
+        if run_budget is not None and run_budget < 0:
+            raise ValueError("run_budget must be >= 0")
         specs = self.expand()
-        pool = make_executor(executor, max_workers=max_workers)
-        bind = getattr(pool, "bind_evaluator", None)
-        if bind is not None:
-            bind(_execute_run)
+        keys = [spec.key() for spec in specs]
+
+        journal = None
+        replayed: Dict[str, Dict[str, Any]] = {}
+        if journal_dir is not None:
+            from repro.durability.runlog import CampaignJournal
+
+            journal = CampaignJournal(journal_dir)
+            journal.begin(self.name, len(specs), resume=resume)
+            if resume:
+                # Only keys of *this* grid count: alien entries (possible
+                # after a torn header rewrite) must not shadow real runs.
+                grid = set(keys)
+                replayed = {
+                    key: entry
+                    for key, entry in journal.completed.items()
+                    if key in grid
+                }
+        pending = [
+            (index, spec)
+            for index, spec in enumerate(specs)
+            if keys[index] not in replayed
+        ]
+
+        entries: Dict[int, Dict[str, Any]] = {}
+        raw_results: Dict[int, Optional[Dict[str, Any]]] = {}
+
+        def finish(index: int, spec: RunSpec, value: Dict[str, Any], failed: bool) -> None:
+            entry = _process_outcome(spec, value, failed)
+            entries[index] = entry
+            raw_results[index] = None if failed else value["result"]
+            if journal is not None:
+                journal.record_run(keys[index], entry)
+
         started = time.perf_counter()
         try:
-            outcomes = pool.map(_call_run, [spec.payload() for spec in specs])
+            if pending and (run_budget is None or run_budget > 0):
+                pool = make_executor(executor, max_workers=max_workers)
+                bind = getattr(pool, "bind_evaluator", None)
+                if bind is not None:
+                    bind(_execute_run)
+                try:
+                    if journal is None and run_budget is None:
+                        # No journal, no budget: one map over the grid.
+                        outcomes = pool.map(
+                            _call_run, [spec.payload() for _, spec in pending]
+                        )
+                        for (index, spec), (value, failed) in zip(pending, outcomes):
+                            finish(index, spec, value, failed)
+                    else:
+                        # Journaled/budgeted execution proceeds in waves so
+                        # completed outcomes hit the journal incrementally —
+                        # a kill mid-campaign loses at most the in-flight
+                        # wave (one run for serial, one batch otherwise).
+                        if executor == "serial":
+                            wave_size = 1
+                        else:
+                            wave_size = max_workers or os.cpu_count() or 4
+                        todo = pending
+                        if run_budget is not None:
+                            todo = todo[:run_budget]
+                        for start in range(0, len(todo), wave_size):
+                            wave = todo[start : start + wave_size]
+                            outcomes = pool.map(
+                                _call_run, [spec.payload() for _, spec in wave]
+                            )
+                            for (index, spec), (value, failed) in zip(wave, outcomes):
+                                finish(index, spec, value, failed)
+                finally:
+                    close = getattr(pool, "close", None)
+                    if close is not None:
+                        close()
         finally:
-            close = getattr(pool, "close", None)
-            if close is not None:
-                close()
+            if journal is not None:
+                journal.close()
         elapsed = time.perf_counter() - started
+        aborted = len(entries) < len(pending)
 
         runs: List[RunResult] = []
-        for spec, (value, failed) in zip(specs, outcomes):
-            defn = get_use_case(spec.use_case)
-            error: Optional[str] = None
-            if failed:
-                result: Optional[Dict[str, Any]] = None
-                # Normalised failure marker: the serial/thread path carries
-                # the exception message and the process path only a hash, so
-                # neither lands in the metrics — the database record must be
-                # identical whichever executor ran the campaign.
-                metrics = {"error": 1.0}
-                raw_message = value.get("error_message")
-                error = str(raw_message) if raw_message is not None else None
-                run_elapsed = 0.0
-            else:
-                result = value["result"]
-                metrics = scalar_metrics(result)
-                run_elapsed = float(value["elapsed_s"])
-            objective = metrics.get(defn.objective_metric)
-            feasible = (not failed) and objective is not None
-            if objective is None:
-                # Keep best-for queries sane in both directions.
-                objective = float("inf") if defn.minimize else float("-inf")
+        for index, spec in enumerate(specs):
+            if index in entries:
+                entry = entries[index]
+                result = raw_results[index]
+            elif keys[index] in replayed:
+                entry = replayed[keys[index]]
+                # The raw payload is not journaled; chaos stats are, so
+                # summaries keep their chaos-event counts across a resume.
+                chaos = entry.get("chaos")
+                result = {"chaos": dict(chaos)} if isinstance(chaos, dict) else None
+            else:  # budget-aborted before this run: not part of the capture
+                continue
+            metrics = dict(entry["metrics"])
+            objective = float(entry["objective"])
+            feasible = bool(entry["feasible"])
+            run_elapsed = float(entry["elapsed_s"])
+            error = entry.get("error")
             tags = {
                 "use_case": spec.use_case,
                 "scenario": spec.scenario,
@@ -273,7 +412,7 @@ class Campaign:
             self.database.add_evaluation(
                 config={**spec.params, "seed": spec.seed},
                 metrics=metrics,
-                objective=float(objective),
+                objective=objective,
                 elapsed_s=run_elapsed,
                 feasible=feasible,
                 **tags,
@@ -283,14 +422,18 @@ class Campaign:
                     spec=spec,
                     result=result if keep_results else None,
                     metrics=metrics,
-                    objective=float(objective),
+                    objective=objective,
                     feasible=feasible,
                     elapsed_s=run_elapsed,
-                    error=error,
+                    error=str(error) if error is not None else None,
                 )
             )
         return CampaignResult(
-            name=self.name, runs=runs, database=self.database, elapsed_s=elapsed
+            name=self.name,
+            runs=runs,
+            database=self.database,
+            elapsed_s=elapsed,
+            aborted=aborted,
         )
 
 
@@ -302,6 +445,9 @@ class CampaignResult:
     runs: List[RunResult]
     database: PerformanceDatabase
     elapsed_s: float
+    #: True when a ``run_budget`` ended the campaign before the full grid
+    #: ran — the capture is a prefix-consistent partial; resume to finish.
+    aborted: bool = False
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -375,6 +521,7 @@ class CampaignResult:
             "campaign": self.name,
             "n_runs": len(self.runs),
             "n_failed": sum(1 for run in self.runs if not run.feasible),
+            "aborted": self.aborted,
             "elapsed_s": self.elapsed_s,
             "use_cases": sorted({run.spec.use_case for run in self.runs}),
             "runs": runs,

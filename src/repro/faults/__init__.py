@@ -10,8 +10,8 @@ boundary and the executor layer:
   ``install()`` / ``active()`` / ``injected()`` hook instrumented code
   checks.
 - :mod:`repro.faults.profiles` — named profiles (``flaky-rack``,
-  ``bmc-chaos``, ``node-crash``, ``straggler``, ``all``) usable as
-  scenario axes and service commands.
+  ``bmc-chaos``, ``node-crash``, ``straggler``, ``storage-chaos``,
+  ``all``) usable as scenario axes and service commands.
 - :mod:`repro.faults.conformance` — the QA invariant battery (imported
   explicitly, not re-exported here, to keep this package importable
   from the hardware layer without cycles).
@@ -28,8 +28,10 @@ from repro.faults.injector import (
 from repro.faults.plan import (
     BmcTimeoutFault,
     CapWriteFault,
+    DiskStallFault,
     FaultPlan,
     FaultSpec,
+    JournalTornWriteFault,
     NodeCrashFault,
     StaleReadFault,
     StragglerFault,
@@ -47,6 +49,8 @@ __all__ = [
     "NodeCrashFault",
     "ThermalExcursionFault",
     "StragglerFault",
+    "JournalTornWriteFault",
+    "DiskStallFault",
     "fault_from_dict",
     "FaultInjector",
     "ChaoticEvaluator",

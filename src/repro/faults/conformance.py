@@ -29,6 +29,8 @@ from repro.resource_manager.job import JobState
 __all__ = [
     "scheduler_invariants",
     "assert_scheduler_invariants",
+    "durability_invariants",
+    "assert_durability_invariants",
     "run_payload_twice",
     "replay_is_bit_identical",
 ]
@@ -100,6 +102,57 @@ def assert_scheduler_invariants(scheduler) -> None:
     violated = sorted(name for name, ok in checks.items() if not ok)
     if violated:
         raise AssertionError(f"scheduler invariants violated: {violated}")
+
+
+def durability_invariants(directory, reference=None) -> Dict[str, bool]:
+    """Post-chaos invariants of one durability root (``repro.durability``).
+
+    Run after storage chaos (``journal_torn_write`` / ``disk_stall``
+    plans, or a plain kill): recovery from ``directory`` must always
+    succeed, be idempotent, keep the sharded/merged parity contract,
+    and — when the uninterrupted run's records are passed as
+    ``reference`` (a sequence of ``EvaluationRecord`` or their dicts) —
+    equal some completed-record prefix of it.
+    """
+    from repro.durability import recover
+
+    checks = {
+        "recover_succeeds": False,
+        "recover_idempotent": False,
+        "sharded_merged_parity": False,
+    }
+    if reference is not None:
+        checks["prefix_of_reference"] = False
+    try:
+        db = recover(directory, reattach=False)
+    except Exception:
+        return checks
+    checks["recover_succeeds"] = True
+    records = [record.to_dict() for record in db]
+    try:
+        again = recover(directory, reattach=False)
+    except Exception:
+        return checks
+    checks["recover_idempotent"] = [r.to_dict() for r in again] == records
+    checks["sharded_merged_parity"] = (
+        [record.to_dict() for record in db.merged()] == records
+        and db.merged().to_json() == db.merged(db.name).to_json()
+    )
+    if reference is not None:
+        expected = [
+            record if isinstance(record, Mapping) else record.to_dict()
+            for record in reference
+        ]
+        checks["prefix_of_reference"] = records == expected[: len(records)]
+    return checks
+
+
+def assert_durability_invariants(directory, reference=None) -> None:
+    """Raise ``AssertionError`` naming every violated durability invariant."""
+    checks = durability_invariants(directory, reference=reference)
+    violated = sorted(name for name, ok in checks.items() if not ok)
+    if violated:
+        raise AssertionError(f"durability invariants violated: {violated}")
 
 
 def _normalise(value: Any) -> Any:

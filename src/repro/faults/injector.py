@@ -224,6 +224,43 @@ class FaultInjector:
                 events.append((hostname, float(spec.delta_c)))
         return events
 
+    def disk_stall(self, entity: str) -> Optional[float]:
+        """Seconds one journal append stalls, or ``None`` (the usual case).
+
+        ``entity`` is the segment name (e.g. ``shard-0.wal``); eligibility
+        slices over segments exactly like hostnames, so a plan can pin
+        storage chaos to one shard's journal.
+        """
+        spec = self._specs.get("disk_stall")
+        if spec is None or spec.probability <= 0.0 or not self._eligible("disk_stall", entity):
+            return None
+        rng = self.streams.stream(f"disk_stall:{entity}")
+        if rng.random() < spec.probability:
+            self._record("disk_stall", entity)
+            return float(spec.stall_s)
+        return None
+
+    def journal_torn_write(self, entity: str) -> Optional[float]:
+        """Fraction of this journal append to persist before dying, or ``None``.
+
+        A non-``None`` return instructs the segment to write only that
+        prefix of the encoded entry and raise
+        :class:`~repro.durability.JournalTornWriteError` — the replayable
+        stand-in for a process killed mid-append.
+        """
+        spec = self._specs.get("journal_torn_write")
+        if (
+            spec is None
+            or spec.probability <= 0.0
+            or not self._eligible("journal_torn_write", entity)
+        ):
+            return None
+        rng = self.streams.stream(f"journal_torn_write:{entity}")
+        if rng.random() < spec.probability:
+            self._record("journal_torn_write", entity)
+            return float(spec.torn_fraction)
+        return None
+
     def evaluator_fault(self, key: str, attempt: int) -> Optional[str]:
         """``"poison"`` / ``"straggle"`` / ``None`` for one evaluation attempt.
 

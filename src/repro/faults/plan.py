@@ -36,6 +36,8 @@ __all__ = [
     "NodeCrashFault",
     "ThermalExcursionFault",
     "StragglerFault",
+    "JournalTornWriteFault",
+    "DiskStallFault",
     "FaultPlan",
     "fault_from_dict",
 ]
@@ -153,6 +155,47 @@ class StragglerFault(FaultSpec):
             raise ValueError("probability + poison_probability must not exceed 1")
 
 
+@dataclass(frozen=True)
+class JournalTornWriteFault(FaultSpec):
+    """A write-ahead journal append is torn mid-entry (simulated crash).
+
+    Only a prefix of the entry's bytes — ``torn_fraction`` of them, at
+    least one and never all — reaches the segment before the writer
+    dies (:class:`repro.durability.JournalTornWriteError`).  Recovery
+    must discard the torn tail by checksum and keep every completed
+    entry.  ``node_fraction`` slices over segment names, so chaos can
+    target one shard's journal.
+    """
+
+    torn_fraction: float = 0.5
+    kind = "journal_torn_write"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < float(self.torn_fraction) < 1.0:
+            raise ValueError(
+                f"torn_fraction must be in (0, 1), got {self.torn_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class DiskStallFault(FaultSpec):
+    """A journal append stalls ``stall_s`` seconds before completing.
+
+    Models a saturated or degraded storage device: the write eventually
+    lands intact, but the fsync path blocks — what the durability layer's
+    batch fsync policy is designed to amortise.
+    """
+
+    stall_s: float = 0.01
+    kind = "disk_stall"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if float(self.stall_s) < 0.0:
+            raise ValueError(f"stall_s must be non-negative, got {self.stall_s}")
+
+
 _FAULT_TYPES: Dict[str, Type[FaultSpec]] = {
     cls.kind: cls
     for cls in (
@@ -162,6 +205,8 @@ _FAULT_TYPES: Dict[str, Type[FaultSpec]] = {
         NodeCrashFault,
         ThermalExcursionFault,
         StragglerFault,
+        JournalTornWriteFault,
+        DiskStallFault,
     )
 }
 

@@ -16,7 +16,9 @@ from typing import Callable, Dict, List, Tuple
 from repro.faults.plan import (
     BmcTimeoutFault,
     CapWriteFault,
+    DiskStallFault,
     FaultPlan,
+    JournalTornWriteFault,
     NodeCrashFault,
     StaleReadFault,
     StragglerFault,
@@ -97,9 +99,24 @@ def _straggler():
 
 
 @register_profile(
+    "storage-chaos",
+    "Durability-layer chaos: torn write-ahead-journal appends "
+    "(simulated crash mid-entry) and disk stalls on half the journal "
+    "segments; exercises checksum-discard recovery and the batch "
+    "fsync path.",
+)
+def _storage_chaos():
+    return (
+        JournalTornWriteFault(probability=0.05, node_fraction=0.5, torn_fraction=0.5),
+        DiskStallFault(probability=0.10, node_fraction=0.5, stall_s=0.002),
+    )
+
+
+@register_profile(
     "all",
-    "Every fault kind at moderate rates — the kitchen-sink conformance "
-    "profile.",
+    "Every hardware/evaluator fault kind at moderate rates — the "
+    "kitchen-sink conformance profile (storage chaos lives in "
+    "'storage-chaos', which needs a journal to bite).",
 )
 def _all():
     return (

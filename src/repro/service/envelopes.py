@@ -60,6 +60,7 @@ class ServiceErrorCode(str, Enum):
     NO_JOB = "SVC_RET_NO_JOB"
     NO_TUNER = "SVC_RET_NO_TUNER"
     QUOTA_EXCEEDED = "SVC_RET_QUOTA_EXCEEDED"
+    SNAPSHOT_CORRUPT = "SVC_RET_SNAPSHOT_CORRUPT"
     INTERNAL = "SVC_RET_INTERNAL"
 
 

@@ -28,6 +28,7 @@ tenant/session key.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -64,7 +65,11 @@ from repro.service.envelopes import (
 )
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
-from repro.telemetry.database import PerformanceDatabase, objective_stats
+from repro.telemetry.database import (
+    PerformanceDatabase,
+    SnapshotCorruptError,
+    objective_stats,
+)
 from repro.telemetry.sharding import ShardedPerformanceDatabase
 
 __all__ = [
@@ -255,6 +260,12 @@ class Session:
     used_evaluations: int = 0
     tuners: Dict[str, _TuningState] = field(default_factory=dict)
     _tuner_counter: int = 0
+    #: The tenant's session ordinal (n-th session of this tenant) — part
+    #: of the RNG stream derivation, so a restored session re-derives the
+    #: exact streams the original had.
+    ordinal: int = 1
+    #: The scope restriction session.open applied, kept for snapshots.
+    scope_hostnames: Optional[List[str]] = None
 
     def charge(self, evaluations: int) -> None:
         """Spend quota; structured error when the budget would overrun."""
@@ -358,6 +369,12 @@ class StackService:
                 return Response.failure(
                     ServiceErrorCode(error.code.value), str(error), request=request
                 )
+            # Before ValueError: SnapshotCorruptError subclasses it, and
+            # storage corruption must stay distinguishable on the wire.
+            except SnapshotCorruptError as error:
+                return Response.failure(
+                    ServiceErrorCode.SNAPSHOT_CORRUPT, str(error), request=request
+                )
             except ValueError as error:
                 return Response.failure(
                     ServiceErrorCode.BAD_VALUE, str(error), request=request
@@ -454,6 +471,21 @@ class StackService:
             ),
             CommandSpec("session.info", self._cmd_session_info, "Session facts.", ()),
             CommandSpec("session.close", self._cmd_session_close, "Close this session.", ()),
+            CommandSpec(
+                "session.snapshot",
+                self._cmd_session_snapshot,
+                "Portable session-state snapshot (identity, role, quota, "
+                "RNG derivation).  Open tuning exchanges are not captured.",
+                (),
+            ),
+            CommandSpec(
+                "session.restore",
+                self._cmd_session_restore,
+                "Recreate a session from a session.snapshot blob; RNG "
+                "streams re-derive identically.",
+                (ArgSpec("state", "dict", required=True, doc="session.snapshot result"),),
+                requires_session=False,
+            ),
             CommandSpec(
                 "power.read",
                 self._cmd_power_read,
@@ -689,6 +721,26 @@ class StackService:
                 (),
             ),
             CommandSpec(
+                "db.checkpoint",
+                self._cmd_db_checkpoint,
+                "Checkpoint the sharded database into a durability root "
+                "(write-ahead journal + atomic bounded snapshot "
+                "generations); attaches the journal on first use "
+                "(operator roles).",
+                (
+                    ArgSpec("directory", "str", doc="durability root (required on first use)"),
+                    ArgSpec("keep_generations", "int", doc="snapshot generations to keep"),
+                ),
+            ),
+            CommandSpec(
+                "db.recover",
+                self._cmd_db_recover,
+                "Replace the sharded database with one recovered from a "
+                "durability root: newest valid snapshot plus the journal's "
+                "intact suffix (operator roles).",
+                (ArgSpec("directory", "str", required=True),),
+            ),
+            CommandSpec(
                 "chaos.inject",
                 self._cmd_chaos_inject,
                 "Install a named fault-injection profile on the service's "
@@ -772,6 +824,8 @@ class StackService:
             context=context,
             streams=streams,
             quota=quota if quota is not None else self.default_quota,
+            ordinal=ordinal,
+            scope_hostnames=list(scope_hostnames) if scope_hostnames is not None else None,
         )
         self._sessions[session_id] = session
         return session.info()
@@ -782,6 +836,87 @@ class StackService:
     def _cmd_session_close(self, session: Session) -> Dict[str, Any]:
         self._sessions.pop(session.session_id, None)
         return {"closed": True, "used_evaluations": session.used_evaluations}
+
+    def _cmd_session_snapshot(self, session: Session) -> Dict[str, Any]:
+        return {
+            "state": {
+                "session": session.session_id,
+                "tenant": session.tenant,
+                "role": session.role.value,
+                "quota": session.quota,
+                "used_evaluations": session.used_evaluations,
+                "ordinal": session.ordinal,
+                "scope_hostnames": session.scope_hostnames,
+            },
+            # Tuning exchanges hold live search objects; they are not
+            # portable and must be reopened after a restore.
+            "open_tuners": sorted(session.tuners),
+        }
+
+    def _cmd_session_restore(self, state: Mapping[str, Any]) -> Dict[str, Any]:
+        required = {"session", "tenant", "role", "ordinal"}
+        missing = sorted(required - set(state))
+        if missing:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"session.restore: state is missing field(s) {missing}",
+            )
+        session_id = str(state["session"])
+        if session_id in self._sessions:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"session {session_id!r} is still open; close it before restoring",
+            )
+        tenant = str(state["tenant"])
+        ordinal = int(state["ordinal"])
+        if ordinal < 1:
+            raise ServiceError(
+                ServiceErrorCode.BAD_VALUE, "session ordinal must be >= 1"
+            )
+        try:
+            role = Role(state["role"])
+        except ValueError:
+            raise ServiceError(
+                ServiceErrorCode.BAD_REQUEST,
+                f"unknown role {state['role']!r} in snapshot",
+            ) from None
+        scope_hostnames = state.get("scope_hostnames")
+        scope_paths = None
+        if scope_hostnames is not None:
+            root = self._admin_context.root.name
+            unknown = sorted(set(scope_hostnames) - set(self._node_index))
+            if unknown:
+                raise ServiceError(
+                    ServiceErrorCode.NO_OBJECT, f"unknown hostname(s) {unknown}"
+                )
+            scope_paths = [f"{root}/{hostname}" for hostname in scope_hostnames]
+        quota = state.get("quota")
+        used = int(state.get("used_evaluations", 0))
+        # The ordinal drives the RNG derivation, so the restored session
+        # draws exactly the streams the original would have; bumping the
+        # tenant counter keeps future session.open calls from reusing it.
+        streams = self._streams.spawn(f"tenant:{tenant}").spawn(f"session:{ordinal}")
+        self._tenant_counters[tenant] = max(
+            self._tenant_counters.get(tenant, 0), ordinal
+        )
+        prefix = session_id.split("-", 1)[0]
+        if prefix.startswith("s") and prefix[1:].isdigit():
+            self._session_counter = max(self._session_counter, int(prefix[1:]))
+        session = Session(
+            session_id=session_id,
+            tenant=tenant,
+            role=role,
+            context=PowerApiContext(
+                self._admin_context.root, role=role, scope_paths=scope_paths
+            ),
+            streams=streams,
+            quota=None if quota is None else int(quota),
+            used_evaluations=used,
+            ordinal=ordinal,
+            scope_hostnames=list(scope_hostnames) if scope_hostnames is not None else None,
+        )
+        self._sessions[session_id] = session
+        return session.info()
 
     # -- power plane -------------------------------------------------------
     @staticmethod
@@ -1472,6 +1607,73 @@ class StackService:
             "n_shards": self.database.n_shards,
             "shard_sizes": self.database.shard_sizes(),
             "tenants": self.database.tag_values("tenant"),
+        }
+
+    def _cmd_db_checkpoint(
+        self,
+        session: Session,
+        directory: Optional[str] = None,
+        keep_generations: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        self._require_operator(session, "checkpoint the database")
+        from repro import durability
+
+        journal = self.database.journal
+        if journal is None:
+            if directory is None:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_REQUEST,
+                    "no journal attached yet; 'directory' is required on the "
+                    "first db.checkpoint",
+                )
+            durability.attach(
+                self.database,
+                directory,
+                keep_generations=int(keep_generations) if keep_generations else 2,
+            )
+            journal = self.database.journal
+        elif directory is not None and os.path.abspath(directory) != journal.directory:
+            raise ServiceError(
+                ServiceErrorCode.BAD_VALUE,
+                f"journal is attached at {journal.directory!r}; detach before "
+                f"checkpointing into {directory!r}",
+            )
+        kwargs = {}
+        if keep_generations is not None:
+            if keep_generations < 1:
+                raise ServiceError(
+                    ServiceErrorCode.BAD_VALUE, "keep_generations must be >= 1"
+                )
+            kwargs["keep_generations"] = int(keep_generations)
+        info = self.database.checkpoint(**kwargs)
+        return {
+            "directory": journal.directory,
+            "generation": info["generation"],
+            "records": info["records"],
+            "absorbed_entries": info["absorbed_entries"],
+        }
+
+    def _cmd_db_recover(self, session: Session, directory: str) -> Dict[str, Any]:
+        self._require_operator(session, "recover the database")
+        try:
+            recovered = ShardedPerformanceDatabase.recover(directory)
+        except FileNotFoundError as error:
+            raise ServiceError(
+                ServiceErrorCode.NO_OBJECT,
+                f"{directory!r} is not a durability root: {error}",
+            ) from error
+        # SnapshotCorruptError (unrecoverable config corruption) propagates
+        # and maps to SVC_RET_SNAPSHOT_CORRUPT in handle().
+        old_journal = self.database.detach_journal()
+        if old_journal is not None:
+            old_journal.close()
+        self.database = recovered
+        return {
+            "directory": directory,
+            "n_records": len(recovered),
+            "n_shards": recovered.n_shards,
+            "shard_sizes": recovered.shard_sizes(),
+            "journal_attached": recovered.journal is not None,
         }
 
     # -- chaos plane -------------------------------------------------------

@@ -19,7 +19,11 @@ utilization).  This subpackage provides:
 """
 
 from repro.telemetry.counters import CounterSnapshot, TelemetryAccumulator
-from repro.telemetry.database import EvaluationRecord, PerformanceDatabase
+from repro.telemetry.database import (
+    EvaluationRecord,
+    PerformanceDatabase,
+    SnapshotCorruptError,
+)
 from repro.telemetry.sharding import ShardedPerformanceDatabase
 from repro.telemetry.metrics import (
     METRIC_REGISTRY,
@@ -41,6 +45,7 @@ __all__ = [
     "PowerTimeSeries",
     "ShardedPerformanceDatabase",
     "SlidingWindow",
+    "SnapshotCorruptError",
     "TelemetryAccumulator",
     "derived_metrics",
     "energy_delay_product",

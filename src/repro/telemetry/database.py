@@ -17,12 +17,59 @@ lookups — run as vectorised array expressions instead of Python scans.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["EvaluationRecord", "PerformanceDatabase", "objective_stats"]
+__all__ = [
+    "EvaluationRecord",
+    "PerformanceDatabase",
+    "SnapshotCorruptError",
+    "atomic_write_text",
+    "objective_stats",
+]
+
+
+class SnapshotCorruptError(ValueError):
+    """A persisted snapshot (shard file, manifest, journal checkpoint) is
+    unreadable: truncated, not valid JSON, or structurally wrong.
+
+    A typed subclass of :class:`ValueError` so callers that guarded the
+    old ``json.JSONDecodeError`` / ``ValueError`` paths keep working,
+    while the service facade can map it to a structured
+    ``SVC_RET_SNAPSHOT_CORRUPT`` wire error instead of a raw traceback.
+    """
+
+    def __init__(self, path: str, reason: str):
+        super().__init__(f"corrupt snapshot {path!r}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX, so an interrupted save can never
+    leave a half-written file where a previous good snapshot stood — the
+    reader sees either the old content or the new, never a torn middle.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix="~")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def objective_stats(objectives: np.ndarray) -> Dict[str, float]:
@@ -402,10 +449,24 @@ class PerformanceDatabase:
         return db
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
+        """Atomic snapshot: temp file + rename, never a torn JSON file."""
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path: str, name: str = "default") -> "PerformanceDatabase":
+        """Load a snapshot; corruption raises :class:`SnapshotCorruptError`.
+
+        A truncated or otherwise invalid shard file is a *typed* failure
+        — the caller (and the service facade) can tell storage corruption
+        apart from every other ``ValueError``.
+        """
         with open(path, "r", encoding="utf-8") as fh:
-            return cls.from_json(fh.read(), name)
+            text = fh.read()
+        try:
+            return cls.from_json(text, name)
+        except SnapshotCorruptError:
+            raise
+        except (ValueError, KeyError, TypeError, AttributeError) as error:
+            raise SnapshotCorruptError(
+                path, f"{type(error).__name__}: {error}"
+            ) from error

@@ -31,6 +31,8 @@ from repro.sim.rng import stable_name_key
 from repro.telemetry.database import (
     EvaluationRecord,
     PerformanceDatabase,
+    SnapshotCorruptError,
+    atomic_write_text,
     objective_stats,
 )
 
@@ -66,6 +68,11 @@ class ShardedPerformanceDatabase:
         self._global_arrays: List[Optional[np.ndarray]] = [None] * n_shards
         #: Global index -> (shard index, local index).
         self._locator: List[Tuple[int, int]] = []
+        #: Optional write-ahead journal (``repro.durability``): when
+        #: attached and enabled, every add() tees the record into the
+        #: journal *before* mutating in-memory state.  ``None`` costs one
+        #: attribute read per add — the journal-disabled overhead budget.
+        self._journal: Optional[Any] = None
 
     # -- routing -----------------------------------------------------------
     @property
@@ -82,15 +89,75 @@ class ShardedPerformanceDatabase:
 
     # -- writes ------------------------------------------------------------
     def add(self, record: EvaluationRecord, shard_key: Optional[str] = None) -> int:
-        """Route one record to its shard; returns the shard index."""
+        """Route one record to its shard; returns the shard index.
+
+        With a journal attached the record is journaled *first* (write-
+        ahead): a crash mid-append leaves a torn tail on disk and no
+        partial in-memory state, so recovery always yields a consistent
+        completed-record prefix.
+        """
         key = self.routing_key(record.tags) if shard_key is None else str(shard_key)
         shard = self.shard_index(key)
+        journal = self._journal
+        if journal is not None and journal.enabled:
+            journal.append_record(shard, len(self._locator), record.to_dict(), key)
         local = len(self.shards[shard])
         self.shards[shard].add(record)
         self._global[shard].append(len(self._locator))
         self._global_arrays[shard] = None
         self._locator.append((shard, local))
         return shard
+
+    # -- durability --------------------------------------------------------
+    @property
+    def journal(self) -> Optional[Any]:
+        """The attached write-ahead journal, or ``None``."""
+        return self._journal
+
+    def attach_journal(self, journal: Any) -> None:
+        """Tee every future :meth:`add` into ``journal`` (write-ahead).
+
+        The journal must agree on shard count — a mismatch would scatter
+        replayed records onto the wrong shards.
+        """
+        if journal is not None and getattr(journal, "n_shards", self.n_shards) != self.n_shards:
+            raise ValueError(
+                f"journal has {journal.n_shards} shard segments, "
+                f"database has {self.n_shards} shards"
+            )
+        self._journal = journal
+
+    def detach_journal(self) -> Optional[Any]:
+        """Remove and return the attached journal (records stay on disk)."""
+        journal, self._journal = self._journal, None
+        return journal
+
+    def checkpoint(self, **kwargs: Any) -> Dict[str, Any]:
+        """Atomic columnar snapshot + journal truncation (bounded generations).
+
+        Requires an attached journal (see
+        :func:`repro.durability.attach` / :func:`repro.durability.recover`).
+        """
+        if self._journal is None:
+            raise ValueError(
+                "checkpoint() needs an attached journal; "
+                "use repro.durability.attach(db, directory) first"
+            )
+        return self._journal.checkpoint(self, **kwargs)
+
+    @classmethod
+    def recover(cls, directory: str, **kwargs: Any) -> "ShardedPerformanceDatabase":
+        """Rebuild a bit-identical database from a durability directory.
+
+        Replays the newest valid checkpoint snapshot plus the journal's
+        contiguous completed-record suffix; torn or corrupt tail entries
+        are discarded, never raised.  The returned database has the
+        journal re-attached, so writes keep appending where the crashed
+        process stopped.
+        """
+        from repro.durability import recover as _recover
+
+        return _recover(directory, **kwargs)
 
     def add_evaluation(
         self,
@@ -276,7 +343,13 @@ class ShardedPerformanceDatabase:
 
     # -- persistence -------------------------------------------------------
     def save(self, directory: str) -> None:
-        """Write one JSON file per shard plus a manifest with the order."""
+        """Write one JSON file per shard plus a manifest with the order.
+
+        Every file lands via temp-file + ``os.replace`` and the manifest
+        is written *last*: an interrupted save leaves either the previous
+        complete snapshot or the new one, and a manifest never references
+        shard files that were not fully written.
+        """
         os.makedirs(directory, exist_ok=True)
         for index, shard in enumerate(self.shards):
             shard.save(os.path.join(directory, f"shard-{index}.json"))
@@ -286,30 +359,47 @@ class ShardedPerformanceDatabase:
             "shard_key_tags": list(self.shard_key_tags),
             "order": [[shard, local] for shard, local in self._locator],
         }
-        with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh)
+        atomic_write_text(os.path.join(directory, _MANIFEST), json.dumps(manifest))
 
     @classmethod
     def load(cls, directory: str) -> "ShardedPerformanceDatabase":
-        with open(os.path.join(directory, _MANIFEST), "r", encoding="utf-8") as fh:
-            manifest = json.load(fh)
-        db = cls(
-            n_shards=int(manifest["n_shards"]),
-            name=manifest["name"],
-            shard_key_tags=manifest["shard_key_tags"],
-        )
+        """Load a snapshot; corruption raises :class:`SnapshotCorruptError`."""
+        manifest_path = os.path.join(directory, _MANIFEST)
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            manifest = json.loads(text)
+            db = cls(
+                n_shards=int(manifest["n_shards"]),
+                name=manifest["name"],
+                shard_key_tags=manifest["shard_key_tags"],
+            )
+            order = [
+                (int(shard), int(local)) for shard, local in manifest["order"]
+            ]
+            if any(not 0 <= shard < db.n_shards for shard, _ in order):
+                raise SnapshotCorruptError(
+                    manifest_path, "manifest order references unknown shards"
+                )
+        except SnapshotCorruptError:
+            raise
+        except (ValueError, KeyError, TypeError) as error:
+            raise SnapshotCorruptError(
+                manifest_path, f"{type(error).__name__}: {error}"
+            ) from error
         for index in range(db.n_shards):
             db.shards[index] = PerformanceDatabase.load(
                 os.path.join(directory, f"shard-{index}.json"),
                 name=f"{db.name}/shard-{index}",
             )
-        for shard, local in manifest["order"]:
-            db._locator.append((int(shard), int(local)))
-            db._global[int(shard)].append(len(db._locator) - 1)
+        for shard, local in order:
+            db._locator.append((shard, local))
+            db._global[shard].append(len(db._locator) - 1)
         sizes = [len(entries) for entries in db._global]
         if sizes != db.shard_sizes():
-            raise ValueError(
+            raise SnapshotCorruptError(
+                manifest_path,
                 f"manifest order inconsistent with shard files: "
-                f"{sizes} vs {db.shard_sizes()}"
+                f"{sizes} vs {db.shard_sizes()}",
             )
         return db

@@ -15,6 +15,7 @@ Three pillars:
 
 import io
 import math
+import tempfile
 
 import numpy as np
 import pytest
@@ -490,6 +491,13 @@ def test_every_command_round_trips_through_the_wire():
     call("chaos.inject", session=sid, profile="bmc-chaos", seed=3)
     call("chaos.status", session=sid)
     call("chaos.clear", session=sid)
+
+    with tempfile.TemporaryDirectory() as root:
+        call("db.checkpoint", session=sid, directory=root)
+        call("db.recover", session=sid, directory=root)
+    snapshot = call("session.snapshot", session=sid)
+    call("session.close", session=sid)
+    call("session.restore", state=snapshot["state"])
     call("session.close", session=sid)
 
     assert exercised == all_ops, sorted(all_ops - exercised)

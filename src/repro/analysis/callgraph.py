@@ -1,0 +1,304 @@
+"""Lightweight project symbol index and call graph for hot-path checks.
+
+RL003 tags functions with ``# repro-lint: hot`` and needs to follow calls
+*transitively* (the PR 7 lesson: the expensive ``@property`` was not in
+the tagged function itself but one call below it).  This module builds
+just enough of a symbol table to do that statically and conservatively:
+
+* per module: free functions, classes with their methods, ``@property``
+  (and ``cached_property``) names, and base-class names;
+* import aliases, so ``from repro.durability.journal import encode_entry``
+  and ``import repro.faults.injector as faults`` both resolve;
+* call resolution for the three shapes that matter in this codebase:
+  ``name(...)`` (same module or from-import), ``self.method(...)``
+  (own class, then project-resolvable bases), and ``mod.func(...)``
+  (aliased project module).
+
+Anything else (subscripted receivers, parameters, stdlib) resolves to
+``None`` and simply ends the traversal — the graph under-approximates,
+never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleIndex",
+    "ProjectIndex",
+    "build_alias_map",
+    "dotted_path",
+]
+
+
+def build_alias_map(tree: ast.AST, module: str = "") -> Dict[str, str]:
+    """Map local names to the dotted things they were imported as.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``; ``import repro.sim``
+    → ``{"repro": "repro"}``; ``from time import perf_counter`` →
+    ``{"perf_counter": "time.perf_counter"}``.  Relative imports resolve
+    against ``module``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    root = name.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Resolve "from .journal import x" against this module.
+                parts = module.split(".")
+                parts = parts[: len(parts) - node.level]
+                base = ".".join(parts + ([node.module] if node.module else []))
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                bound = name.asname or name.name
+                aliases[bound] = f"{base}.{name.name}" if base else name.name
+    return aliases
+
+
+def dotted_path(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted path of a ``Name``/``Attribute`` chain with aliases expanded.
+
+    Returns ``None`` when the chain is not rooted at an imported name —
+    local variables never resolve, which is exactly the conservatism the
+    rules want.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id not in aliases:
+        return None
+    return ".".join([aliases[node.id]] + parts[::-1])
+
+
+def raw_path(node: ast.AST) -> Optional[str]:
+    """Dotted path of a chain without alias expansion (``Response.success``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    return ".".join([node.id] + parts[::-1])
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition and where it lives."""
+
+    node: ast.FunctionDef
+    module: str
+    path: str
+    owner: Optional[str] = None  # class name for methods
+
+    @property
+    def qualname(self) -> str:
+        name = self.node.name
+        return f"{self.owner}.{name}" if self.owner else name
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    properties: Set[str] = field(default_factory=set)
+    base_names: Tuple[str, ...] = ()
+
+
+_PROPERTY_DECORATORS = {"property", "cached_property"}
+
+
+def _is_property(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id in _PROPERTY_DECORATORS:
+            return True
+        if (
+            isinstance(decorator, ast.Attribute)
+            and decorator.attr in _PROPERTY_DECORATORS
+        ):
+            return True
+    return False
+
+
+@dataclass
+class ModuleIndex:
+    module: str
+    path: str
+    aliases: Dict[str, str]
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+class ProjectIndex:
+    """Symbol table over the scanned fileset with call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleIndex] = {}
+
+    @classmethod
+    def build(cls, files: Iterable) -> "ProjectIndex":
+        """Index every parsed :class:`~repro.analysis.engine.SourceFile`."""
+        index = cls()
+        for source in files:
+            if source.tree is None:
+                continue
+            mod = ModuleIndex(
+                module=source.module,
+                path=source.path,
+                aliases=build_alias_map(source.tree, source.module),
+            )
+            for node in source.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    mod.functions[node.name] = FunctionInfo(
+                        node=node, module=source.module, path=source.path
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    info = ClassInfo(
+                        name=node.name,
+                        module=source.module,
+                        base_names=tuple(
+                            part
+                            for part in (raw_path(base) for base in node.bases)
+                            if part is not None
+                        ),
+                    )
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            if _is_property(item):
+                                info.properties.add(item.name)
+                            else:
+                                info.methods[item.name] = FunctionInfo(
+                                    node=item,
+                                    module=source.module,
+                                    path=source.path,
+                                    owner=node.name,
+                                )
+                    mod.classes[node.name] = info
+            index.modules[source.module] = mod
+        return index
+
+    # -- class resolution --------------------------------------------------
+    def resolve_class(self, module: str, class_name: str) -> Optional[ClassInfo]:
+        """Find a class by name: same module first, then import aliases."""
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        terminal = class_name.split(".")[-1]
+        if terminal in mod.classes:
+            return mod.classes[terminal]
+        target = mod.aliases.get(class_name.split(".")[0])
+        if target is None:
+            return None
+        # "from repro.x import Cls" aliases Cls -> repro.x.Cls
+        owner_module, _, attr = target.rpartition(".")
+        owner = self.modules.get(owner_module)
+        if owner is not None and attr in owner.classes:
+            return owner.classes[attr]
+        return None
+
+    def class_properties(self, info: ClassInfo, max_depth: int = 4) -> Set[str]:
+        """Property names of a class including project-resolvable bases."""
+        out = set(info.properties)
+        if max_depth <= 0:
+            return out
+        for base in info.base_names:
+            resolved = self.resolve_class(info.module, base)
+            if resolved is not None:
+                out |= self.class_properties(resolved, max_depth - 1)
+        return out
+
+    def class_methods(self, info: ClassInfo, max_depth: int = 4) -> Dict[str, FunctionInfo]:
+        """Methods of a class including project-resolvable bases."""
+        out: Dict[str, FunctionInfo] = {}
+        if max_depth > 0:
+            for base in info.base_names:
+                resolved = self.resolve_class(info.module, base)
+                if resolved is not None:
+                    out.update(self.class_methods(resolved, max_depth - 1))
+        out.update(info.methods)
+        return out
+
+    # -- call resolution ---------------------------------------------------
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        mod = self.modules.get(caller.module)
+        if mod is None:
+            return None
+        func = call.func
+        # name(...) — same-module function or from-import.
+        if isinstance(func, ast.Name):
+            if func.id in mod.functions:
+                return mod.functions[func.id]
+            target = mod.aliases.get(func.id)
+            if target is not None:
+                owner_module, _, attr = target.rpartition(".")
+                owner = self.modules.get(owner_module)
+                if owner is not None and attr in owner.functions:
+                    return owner.functions[attr]
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        # self.method(...) — own class, then resolvable bases.
+        if isinstance(func.value, ast.Name) and func.value.id == "self" and caller.owner:
+            info = self.resolve_class(caller.module, caller.owner)
+            if info is not None:
+                return self.class_methods(info).get(func.attr)
+            return None
+        # mod.func(...) — aliased project module.
+        path = dotted_path(func, mod.aliases)
+        if path is not None:
+            owner_module, _, attr = path.rpartition(".")
+            owner = self.modules.get(owner_module)
+            if owner is not None and attr in owner.functions:
+                return owner.functions[attr]
+        return None
+
+    def reachable_from(
+        self, roots: List[Tuple[FunctionInfo, str]], max_depth: int
+    ) -> List[Tuple[FunctionInfo, str, int]]:
+        """BFS over resolvable calls from ``(function, hot_root_label)`` roots.
+
+        Returns every visited function with the hot root it was reached
+        from and its depth (0 for the tagged function itself).  A
+        function reachable from several roots is visited once, for the
+        first root in deterministic order.
+        """
+        seen: Set[Tuple[str, str]] = set()
+        out: List[Tuple[FunctionInfo, str, int]] = []
+        queue: List[Tuple[FunctionInfo, str, int]] = [
+            (fn, label, 0) for fn, label in roots
+        ]
+        while queue:
+            fn, label, depth = queue.pop(0)
+            key = (fn.module, fn.qualname)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((fn, label, depth))
+            if depth >= max_depth:
+                continue
+            calls = [
+                node
+                for node in ast.walk(fn.node)
+                if isinstance(node, ast.Call)
+            ]
+            calls.sort(key=lambda c: (c.lineno, c.col_offset))
+            for call in calls:
+                callee = self.resolve_call(call, fn)
+                if callee is not None:
+                    queue.append((callee, label, depth + 1))
+        return out

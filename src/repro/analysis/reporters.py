@@ -1,0 +1,79 @@
+"""Text and JSON reporters for lint results.
+
+Text output is the grep-able ``path:line:col RULE message`` shape the
+acceptance contract pins; JSON output carries the same findings plus the
+run statistics for machine consumers (CI annotations, dashboards).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.engine import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """One line per finding plus a one-line summary."""
+    lines: List[str] = [violation.render() for violation in result.violations]
+    if verbose:
+        lines.extend(
+            f"{violation.render()}  [suppressed by pragma]"
+            for violation in result.suppressed
+        )
+        lines.extend(
+            f"{violation.render()}  [accepted by baseline]"
+            for violation in result.baselined
+        )
+    counts = _rule_counts(result)
+    breakdown = (
+        " (" + ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items())) + ")"
+        if counts
+        else ""
+    )
+    lines.append(
+        f"{len(result.violations)} violation(s){breakdown} in "
+        f"{result.files_scanned} file(s); "
+        f"{len(result.suppressed)} pragma-suppressed, "
+        f"{len(result.baselined)} baseline-accepted; "
+        f"rules: {', '.join(result.rules_run)}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    document = {
+        "version": 1,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "rules_run": list(result.rules_run),
+        "counts": {
+            "active": len(result.violations),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "by_rule": _rule_counts(result),
+        },
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "module": violation.module,
+                "line": violation.line,
+                "col": violation.col,
+                "message": violation.message,
+                "fingerprint": violation.fingerprint,
+            }
+            for violation in result.violations
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _rule_counts(result: LintResult) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for violation in result.violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return counts

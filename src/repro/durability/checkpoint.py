@@ -125,6 +125,7 @@ class DatabaseJournal:
     def n_shards(self) -> int:
         return len(self._segments)
 
+    # repro-lint: hot
     def append_record(
         self, shard: int, seq: int, record: Dict[str, Any], key: str
     ) -> None:

@@ -144,6 +144,7 @@ class JournalSegment:
                 f"({cut}/{len(data)} bytes persisted)"
             )
 
+    # repro-lint: hot
     def append(self, payload: bytes) -> None:
         """Append one entry (write-ahead: callers journal before applying)."""
         if self._fh is None:

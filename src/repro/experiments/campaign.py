@@ -117,7 +117,9 @@ def _execute_run(payload: Mapping[str, Any]) -> Dict[str, Any]:
     process executors inject bit-identically — and the injector's event
     stats land in the result under ``"chaos"``.
     """
-    start = time.perf_counter()
+    # elapsed_s is wall-clock *metadata* (stripped from every parity and
+    # resume diff); run results themselves never read the clock.
+    start = time.perf_counter()  # repro-lint: disable=RL001
     profile = payload.get("fault_profile")
     if profile:
         from repro.faults import injector as fault_injector
@@ -134,7 +136,7 @@ def _execute_run(payload: Mapping[str, Any]) -> Dict[str, Any]:
         result = get_use_case(payload["use_case"]).run(
             seed=payload["seed"], **payload["params"]
         )
-    return {"result": result, "elapsed_s": time.perf_counter() - start}
+    return {"result": result, "elapsed_s": time.perf_counter() - start}  # repro-lint: disable=RL001
 
 
 def _call_run(payload: Mapping[str, Any]) -> Tuple[Dict[str, Any], bool]:
@@ -339,7 +341,9 @@ class Campaign:
             if journal is not None:
                 journal.record_run(keys[index], entry)
 
-        started = time.perf_counter()
+        # Campaign elapsed time is reporting metadata only (stripped from
+        # the resume-vs-uninterrupted diffs); never feeds a result.
+        started = time.perf_counter()  # repro-lint: disable=RL001
         try:
             if pending and (run_budget is None or run_budget > 0):
                 pool = make_executor(executor, max_workers=max_workers)
@@ -380,7 +384,7 @@ class Campaign:
         finally:
             if journal is not None:
                 journal.close()
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro-lint: disable=RL001
         aborted = len(entries) < len(pending)
 
         runs: List[RunResult] = []

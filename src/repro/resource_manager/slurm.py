@@ -443,6 +443,7 @@ class PowerAwareScheduler:
             return preferred
         return max(fitting)
 
+    # repro-lint: hot
     def _plan_launch(self, job: Job) -> Optional[LaunchPlan]:
         """Shared feasibility kernel: candidate node set + budget + power check.
 

@@ -88,6 +88,7 @@ class ShardedPerformanceDatabase:
         return stable_name_key(str(shard_key)) % len(self.shards)
 
     # -- writes ------------------------------------------------------------
+    # repro-lint: hot
     def add(self, record: EvaluationRecord, shard_key: Optional[str] = None) -> int:
         """Route one record to its shard; returns the shard index.
 

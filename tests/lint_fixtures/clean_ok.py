@@ -1,0 +1,7 @@
+"""Clean fixture: no invariant violations."""
+
+TABLE = {"alpha": 1}
+
+
+def lookup(key, default=None):
+    return TABLE.get(key, default)

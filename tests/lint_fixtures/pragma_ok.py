@@ -1,0 +1,10 @@
+"""Pragma fixture: real violations neutralised by suppressions."""
+# repro-lint: disable-file=RL004
+
+import time
+
+registry = {}
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=RL001

@@ -1,0 +1,17 @@
+"""RL002 fixture: wire-boundary violations."""
+
+from enum import Enum
+
+
+class FixtureCodes(Enum):
+    OK = "SVC_RET_OK"
+    UNUSED = "SVC_RET_NEVER_SENT"
+
+
+def handle(command):
+    if command is None:
+        raise ValueError("no command")
+    try:
+        return {"code": FixtureCodes.OK.value}
+    except:
+        return {"code": "SVC_RET_MYSTERY"}

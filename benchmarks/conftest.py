@@ -29,7 +29,8 @@ PERF_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", 
 PERF_GUARDED_KEYS = {
     "tuning_throughput": ("speedup",),
     "cluster_scale": ("speedup_power_energy",),
-    "scheduler_scale": ("speedup",),
+    "scheduler_scale": ("speedup", "trace_jobs_per_wall_sec"),
+    "scheduler_mega": ("trace_jobs_per_wall_sec",),
     "campaign": ("speedup",),
     "chaos": ("recovery_passes",),
     "durability": ("append_runs_per_sec", "recover_runs_per_sec"),

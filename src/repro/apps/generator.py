@@ -67,16 +67,28 @@ class JobRequest:
         return self.nodes_min is not None and self.nodes_max is not None
 
     def acceptable_node_counts(self) -> List[int]:
-        """Node counts the job can start with (respecting rank constraints)."""
+        """Node counts the job can start with (respecting rank constraints).
+
+        The result is memoized: the shape fields and the application's
+        rank constraint are fixed after construction, and every scheduler
+        pass consults this for every pending candidate, so recomputing
+        the constraint sweep per pass is pure overhead at trace scale.
+        Callers must not mutate the returned list.
+        """
+        cached = self.__dict__.get("_acceptable_counts")
+        if cached is not None:
+            return cached
         if self.moldable:
             candidates = range(self.nodes_min, self.nodes_max + 1)
         else:
             candidates = [self.nodes_requested]
-        return [
+        counts = [
             n
             for n in candidates
             if self.application.rank_constraint(n * self.ranks_per_node)
         ]
+        self.__dict__["_acceptable_counts"] = counts
+        return counts
 
 
 class WorkloadGenerator:

@@ -18,6 +18,10 @@ scenario×seed grids of them in parallel with columnar result capture.
 | :mod:`uc5_irm_epop`              | §3.2.5 | IRM + EPOP (power corridor) |
 | :mod:`uc6_slurm_countdown`       | §3.2.6 | RM + COUNTDOWN |
 | :mod:`uc7_countdown_meric`       | §3.2.7 | COUNTDOWN + MERIC |
+
+:mod:`trace_replay` rides alongside the seven: workload-trace replay
+(SWF or synthetic, the ``--workload`` campaign axis) through the
+event-driven scheduler at mega scale.
 """
 
 from repro.core.usecases.uc1_slurm_conductor_hypre import run_use_case as run_uc1
@@ -27,6 +31,7 @@ from repro.core.usecases.uc4_readex_espreso import run_use_case as run_uc4
 from repro.core.usecases.uc5_irm_epop import run_use_case as run_uc5
 from repro.core.usecases.uc6_slurm_countdown import run_use_case as run_uc6
 from repro.core.usecases.uc7_countdown_meric import run_use_case as run_uc7
+from repro.core.usecases.trace_replay import run_use_case as run_trace
 
 __all__ = [
     "run_uc1",
@@ -36,4 +41,5 @@ __all__ = [
     "run_uc5",
     "run_uc6",
     "run_uc7",
+    "run_trace",
 ]

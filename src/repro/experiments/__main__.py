@@ -121,6 +121,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"--budget-trace given but none of the selected use cases "
             f"{selected} has a budget parameter"
         )
+    if args.workload:
+        from repro.workloads.spec import parse_workload_spec
+
+        try:
+            parse_workload_spec(args.workload)  # fail fast on a typo'd spec
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        takers = [name for name in selected if "workload" in registered[name].defaults]
+        if not takers:
+            raise SystemExit(
+                f"--workload given but none of the selected use cases "
+                f"{selected} takes a workload (try --uc trace)"
+            )
+        for name in takers:
+            overrides.setdefault(name, {}).setdefault("workload", args.workload)
     fault_profile = args.fault_profile or None
     if fault_profile is not None:
         from repro.faults.profiles import PROFILES
@@ -230,6 +245,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="T:W,...",
         help="time-varying per-node budget trace (watts, 'none' = uncapped), "
         "applied to use cases with a budget parameter",
+    )
+    run.add_argument(
+        "--workload",
+        default="",
+        metavar="SPEC",
+        help="workload-trace spec ('swf:/path.swf,...' or "
+        "'synth:n_jobs=...,...'), applied to use cases with a workload "
+        "parameter (e.g. --uc trace)",
     )
     run.add_argument(
         "--fault-profile",

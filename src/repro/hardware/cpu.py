@@ -156,6 +156,7 @@ class CpuPackage:
             temps=state.pkg_temperature_c,
             offsets=state.pkg_ambient_offset_c,
             index=index,
+            version_owner=state,
         )
 
         self._pstates = _cached_pstates(self.spec)
@@ -164,6 +165,7 @@ class CpuPackage:
         state.pkg_max_freq_ghz[index] = self.spec.freq_max_ghz * self.variation.max_turbo_scale
         state.pkg_freq_target_ghz[index] = self.spec.freq_base_ghz
         state.pkg_uncore_ghz[index] = self.spec.uncore_max_ghz
+        state.power_inputs_version += 1
         # Real packages ship with RAPL PL1 = TDP; "uncapping" a package
         # therefore means resetting the limit to TDP, never to infinity.
         state.pkg_power_cap_w[index] = self.spec.tdp_w
@@ -227,6 +229,7 @@ class CpuPackage:
             np.clip(uncore_ghz, self.spec.uncore_min_ghz, self.spec.uncore_max_ghz)
         )
         self._state.pkg_uncore_ghz[self._index] = granted
+        self._state.power_inputs_version += 1
         return granted
 
     def set_power_cap(self, watts: Optional[float]) -> Optional[float]:

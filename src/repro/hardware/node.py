@@ -163,6 +163,8 @@ class Node:
 
         #: Job currently holding the node (None when free).
         self._allocated_to: Optional[str] = None
+        #: Memoized (state power_inputs_version, idle W); see idle_power_w.
+        self._idle_power_cache: Optional[tuple[int, float]] = None
         state.node_free[self._node_index] = True
         state.node_power_cap_w[self._node_index] = np.nan
         #: Instantaneous power draw used by the cluster power meter (W).
@@ -180,10 +182,16 @@ class Node:
         # Keep the cluster's incremental free mask in sync (several layers
         # release nodes by assigning the attribute directly).
         self._state.node_free[self._node_index] = job_id is None
+        self._state.free_version += 1
 
     @property
     def is_free(self) -> bool:
         return self._allocated_to is None
+
+    @property
+    def cluster_state(self) -> ClusterState:
+        """The shared struct-of-arrays store this node's row lives in."""
+        return self._state
 
     def allocate(self, job_id: str) -> None:
         if self._allocated_to is not None:
@@ -259,12 +267,26 @@ class Node:
 
     # -- power telemetry -----------------------------------------------------
     def idle_power_w(self) -> float:
-        """Node power when idle (packages idle + GPUs idle + platform)."""
-        return (
+        """Node power when idle (packages idle + GPUs idle + platform).
+
+        Memoized on the state's ``power_inputs_version``, which covers
+        the only inputs that can change after construction — package
+        temperatures, ambient offsets and uncore frequencies (idle pins
+        the core frequency to ``freq_min``).  ``release()`` resets the
+        node's draw to idle on every job teardown, so at trace scale
+        this would otherwise re-run the package power model per release.
+        """
+        key = self._state.power_inputs_version
+        cached = self._idle_power_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        idle = (
             sum(pkg.idle_power_w() for pkg in self.packages)
             + sum(gpu.idle_power_w() for gpu in self.gpus)
             + self.spec.platform_power_w
         )
+        self._idle_power_cache = (key, idle)
+        return idle
 
     def max_power_w(self) -> float:
         return self.spec.tdp_w

@@ -97,13 +97,38 @@ class ClusterState:
         #: sync by Node.allocate()/release() so free/busy partitioning never
         #: rescans the node list.
         self.node_free = np.ones(self.n_nodes, dtype=bool)
+        #: Monotonic generation counter bumped on every free-mask mutation
+        #: (Node.allocate/release).  Schedulers key memoized pass state
+        #: (ranked free lists, per-job infeasibility marks) on this: equal
+        #: versions guarantee an identical free set, so skipping recompute
+        #: is decision-identical.
+        self.free_version = 0
+        #: Monotonic generation counter bumped on every write to the
+        #: idle-power inputs (package temperatures, ambient offsets,
+        #: uncore frequencies) by their write paths (ThermalModel,
+        #: CpuPackage knobs, the vectorised twins here, and the
+        #: scheduler's thermal excursions).  Idle-power memoisation keys
+        #: on this: equal versions guarantee identical inputs, so the
+        #: cache check is O(1) instead of an array compare.
+        self.power_inputs_version = 0
         # -- lazily built ranking/scheduling caches -------------------------
         #: Per-node mean manufacturing power-efficiency factor (lower is a
         #: better part).  Variation is immutable once the packages have
         #: bound their cells, so this is computed once and reused by every
         #: scheduling pass; CpuPackage binding invalidates it.
         self._node_efficiency_key: Optional[np.ndarray] = None
+        self._efficiency_order: Optional[np.ndarray] = None
         self._pstate_freqs_asc: Optional[np.ndarray] = None
+        #: Memoized (power_inputs_version, idle W per node); see
+        #: idle_power_per_node.
+        self._idle_power_cache: Optional[tuple[int, np.ndarray]] = None
+        #: Memoized (power_inputs_version, fraction, busy W per node);
+        #: see busy_power_per_node.
+        self._busy_power_cache: Optional[tuple[int, float, np.ndarray]] = None
+        #: Memoized (free_version, count); every feasibility probe asks
+        #: for the free count, and the mask only changes when the version
+        #: bumps.
+        self._free_count_cache: Optional[tuple[int, int]] = None
 
     # -- shape / partition helpers -----------------------------------------
     def free_indices(self) -> np.ndarray:
@@ -118,6 +143,7 @@ class ClusterState:
     def invalidate_efficiency_cache(self) -> None:
         """Drop the cached per-node efficiency key (package (re)binding)."""
         self._node_efficiency_key = None
+        self._efficiency_order = None
 
     def node_efficiency_key(self) -> np.ndarray:
         """Per-node ranking key for power-aware selection (lower = better).
@@ -131,10 +157,20 @@ class ClusterState:
         return self._node_efficiency_key
 
     def rank_free_by_efficiency(self) -> np.ndarray:
-        """Free-node indices ordered best-part-first (stable in node id)."""
-        free = self.free_indices()
-        key = self.node_efficiency_key()
-        return free[np.argsort(key[free], kind="stable")]
+        """Free-node indices ordered best-part-first (stable in node id).
+
+        Computed as a boolean gather over the machine-wide stable
+        efficiency order (built once: the key is immutable).  Identical
+        to ``free[argsort(key[free], stable)]`` — a stable sort of a
+        subset preserves the subset's relative order in the full stable
+        sort — but O(n) per pass instead of O(n log n).
+        """
+        if self._efficiency_order is None:
+            self._efficiency_order = np.argsort(
+                self.node_efficiency_key(), kind="stable"
+            )
+        order = self._efficiency_order
+        return order[self.node_free[order]]
 
     def rank_free_by_temperature(self) -> np.ndarray:
         """Free-node indices ordered coolest-first (stable in node id)."""
@@ -144,7 +180,12 @@ class ClusterState:
 
     @property
     def free_count(self) -> int:
-        return int(np.count_nonzero(self.node_free))
+        cached = self._free_count_cache
+        if cached is not None and cached[0] == self.free_version:
+            return cached[1]
+        count = int(np.count_nonzero(self.node_free))
+        self._free_count_cache = (self.free_version, count)
+        return count
 
     @property
     def busy_count(self) -> int:
@@ -199,10 +240,25 @@ class ClusterState:
         return self.power_per_package(IDLE_DEMAND, active_cores=0, freq_ghz=freq)
 
     def idle_power_per_node(self) -> np.ndarray:
-        """Idle power of every node (W), matching ``Node.idle_power_w``."""
+        """Idle power of every node (W), matching ``Node.idle_power_w``.
+
+        Memoized on :attr:`power_inputs_version`, which covers the only
+        drifting inputs — package temperatures, ambient offsets and
+        uncore frequencies (the core frequency is pinned to ``freq_min``
+        by the idle definition; efficiency and leakage variation are
+        fixed at construction).  Every power sample reads this, and at
+        trace-replay scale the full idle power-model evaluation
+        dominated the sample cost.  Callers must not mutate the
+        returned array.
+        """
+        cached = self._idle_power_cache
+        if cached is not None and cached[0] == self.power_inputs_version:
+            return cached[1]
         spec = self._require_spec()
         gpu_idle = self.n_gpus * spec.gpu.idle_power_w
-        return self.idle_power_per_package().sum(axis=1) + gpu_idle + spec.platform_power_w
+        idle = self.idle_power_per_package().sum(axis=1) + gpu_idle + spec.platform_power_w
+        self._idle_power_cache = (self.power_inputs_version, idle)
+        return idle
 
     # -- vectorised accounting ---------------------------------------------
     def total_tdp_w(self) -> float:
@@ -211,6 +267,30 @@ class ClusterState:
 
     def total_idle_power_w(self) -> float:
         return float(self.idle_power_per_node().sum())
+
+    # repro-lint: hot
+    def busy_power_per_node(self, activity_fraction: float) -> np.ndarray:
+        """Per-node draw at a constant activity level between idle and TDP.
+
+        ``idle + fraction * (tdp - idle)`` elementwise — the
+        constant-power model trace replay charges allocated nodes with.
+        Same float64 arithmetic as the scalar
+        ``idle + fraction * (node.max_power_w() - idle)``, so the result
+        is bit-identical per node.  Memoized like
+        :meth:`idle_power_per_node` (single entry: traces replay one
+        fraction at a time).  Callers must not mutate the returned array.
+        """
+        cached = self._busy_power_cache
+        if (
+            cached is not None
+            and cached[0] == self.power_inputs_version
+            and cached[1] == activity_fraction
+        ):
+            return cached[2]
+        idle = self.idle_power_per_node()
+        busy = idle + activity_fraction * (self._require_spec().tdp_w - idle)
+        self._busy_power_cache = (self.power_inputs_version, activity_fraction, busy)
+        return busy
 
     def instantaneous_power_w(self, include_idle: bool = True) -> float:
         """System power: busy nodes at their draw, idle nodes at idle power."""
@@ -246,6 +326,7 @@ class ClusterState:
         )
         alpha = 1.0 - np.exp(-dt_s / spec.time_constant_s)
         self.pkg_temperature_c += (target - self.pkg_temperature_c) * alpha
+        self.power_inputs_version += 1
         return self.pkg_temperature_c
 
     # -- vectorised DVFS ----------------------------------------------------
@@ -308,6 +389,7 @@ class ClusterState:
             (node_indices.size, self.n_sockets),
         )
         self.pkg_uncore_ghz[node_indices] = granted
+        self.power_inputs_version += 1
         return granted
 
     # -- vectorised power-cap distribution ---------------------------------

@@ -66,6 +66,7 @@ class ThermalModel:
         temps: Optional[np.ndarray] = None,
         offsets: Optional[np.ndarray] = None,
         index: Optional[Tuple[int, int]] = None,
+        version_owner=None,
     ):
         self.spec = spec or ThermalSpec()
         if temps is None:
@@ -77,8 +78,17 @@ class ThermalModel:
         self._temps = temps
         self._offsets = offsets
         self._index = index
+        #: Holder of a ``power_inputs_version`` counter (the owning
+        #: ClusterState) bumped on every temperature/offset write so
+        #: idle-power memoisation can key on an integer.
+        self._version_owner = version_owner
         self._offsets[self._index] = float(ambient_offset_c)
         self._temps[self._index] = self.ambient_c
+        self._bump_version()
+
+    def _bump_version(self) -> None:
+        if self._version_owner is not None:
+            self._version_owner.power_inputs_version += 1
 
     @property
     def ambient_offset_c(self) -> float:
@@ -88,6 +98,7 @@ class ThermalModel:
     @ambient_offset_c.setter
     def ambient_offset_c(self, value: float) -> None:
         self._offsets[self._index] = float(value)
+        self._bump_version()
 
     @property
     def ambient_c(self) -> float:
@@ -114,6 +125,7 @@ class ThermalModel:
         tau = self.spec.time_constant_s
         alpha = 1.0 - float(np.exp(-dt_s / tau))
         self._temps[self._index] += (target - float(self._temps[self._index])) * alpha
+        self._bump_version()
         return float(self._temps[self._index])
 
     def is_throttling(self) -> bool:
@@ -129,3 +141,4 @@ class ThermalModel:
         self._temps[self._index] = (
             self.ambient_c if temperature_c is None else float(temperature_c)
         )
+        self._bump_version()

@@ -110,8 +110,19 @@ class InvasiveResourceManager(PowerAwareScheduler):
 
     def _corridor_loop(self):
         while True:
+            # The corridor can act (reclaim, shutdown, DVFS) during idle
+            # spells: settle the suspended monitor's sampling grid before
+            # mutating the state those samples read.
+            self._monitor_catch_up()
+            free_before = self.cluster.state.free_version
             self._reclaim_released_nodes()
             self._enforce_corridor()
+            if self.cluster.state.free_version != free_before:
+                # Nodes changed hands outside a scheduling pass (e.g. an
+                # EPOP shrink reclaimed).  The interval driver's next tick
+                # would use them; the event driver arms a pass at that
+                # same grid time.
+                self._request_grid_pass()
             yield self.env.timeout(self.control_interval_s)
 
     def _reclaim_released_nodes(self) -> None:
@@ -339,8 +350,8 @@ class InvasiveResourceManager(PowerAwareScheduler):
         self._log("cancel", predicted, job_id=youngest.job_id)
 
     # -- telemetry override: shut-down nodes draw (almost) nothing --------------------------
-    def _sample_power(self) -> None:
-        now = self.env.now
+    def _sample_power(self, at: Optional[float] = None) -> None:
+        now = self.env.now if at is None else at
         state = self.cluster.state
         busy = state.busy_count
         dt = now - self._last_utilization_sample_s

@@ -39,11 +39,13 @@ class Job:
     launch_metadata: Dict[str, object] = field(default_factory=dict)
     #: Times this job was re-queued after a node crash interrupted it.
     restarts: int = 0
+    #: Mirror of ``request.job_id``: the id is immutable and read on
+    #: every queue/ledger operation, so a plain attribute beats a
+    #: property round trip at trace scale.
+    job_id: str = field(init=False, repr=False, compare=False)
 
-    # -- identity helpers --------------------------------------------------------
-    @property
-    def job_id(self) -> str:
-        return self.request.job_id
+    def __post_init__(self) -> None:
+        self.job_id = self.request.job_id
 
     @property
     def is_active(self) -> bool:

@@ -77,6 +77,9 @@ class NodeAvailabilityProfile:
         self._keys: List[Tuple[float, str]] = []
         self._counts: List[int] = []
         self._entries: Dict[str, Tuple[float, int]] = {}
+        #: Cumulative-count cache, invalidated on mutation: between
+        #: launches/releases every shadow-time query reuses one cumsum.
+        self._cum: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -89,6 +92,7 @@ class NodeAvailabilityProfile:
         self._keys.insert(i, key)
         self._counts.insert(i, int(node_count))
         self._entries[job_id] = (release_time_s, int(node_count))
+        self._cum = None
 
     def remove(self, job_id: str) -> None:
         entry = self._entries.pop(job_id, None)
@@ -97,6 +101,7 @@ class NodeAvailabilityProfile:
         i = bisect.bisect_left(self._keys, (entry[0], job_id))
         del self._keys[i]
         del self._counts[i]
+        self._cum = None
 
     def update_count(self, job_id: str, node_count: int) -> None:
         """Adjust a job's node count in place (malleable grow/shrink)."""
@@ -111,7 +116,9 @@ class NodeAvailabilityProfile:
             return now_s
         if not self._counts:
             return now_s + PESSIMISTIC_SHADOW_S
-        cumulative = np.cumsum(self._counts)
+        if self._cum is None:
+            self._cum = np.cumsum(self._counts)
+        cumulative = self._cum
         idx = int(np.searchsorted(cumulative, needed - free_count))
         if idx >= len(self._keys):
             return now_s + PESSIMISTIC_SHADOW_S
@@ -161,6 +168,21 @@ class SchedulerConfig:
     #: per-``Node``-list reference path, which must stay decision-identical
     #: (bench_perf_scheduler_scale asserts bit-equal schedules).
     vectorized: bool = True
+    #: Simulation driver.  ``"event"`` (the default) arms wakeups only for
+    #: real state changes — arrivals, completions, repairs, explicit
+    #: schedule requests — and fast-forwards over idle time (the power
+    #: monitor suspends while nothing runs and replays its sampling grid
+    #: bit-exactly on wake).  ``"interval"`` keeps the historical
+    #: fixed-tick scheduler/monitor loops; the two drivers are
+    #: decision-identical on continuous-time traces (the parity suite in
+    #: tests/test_event_driver_parity.py pins start times, node
+    #: assignments and stats across both).
+    driver: str = "event"
+    #: Bound on how many queued jobs one backfill sweep examines past the
+    #: FCFS head (SLURM's ``bf_max_job_test``).  ``None`` keeps the
+    #: exhaustive historical sweep; mega-scale traces set a depth so a
+    #: pass is O(schedulable), not O(pending).
+    backfill_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scheduling_interval_s <= 0 or self.monitor_interval_s <= 0:
@@ -171,6 +193,10 @@ class SchedulerConfig:
             raise ValueError("max_restarts must be >= 0")
         if self.quarantine_repair_s is not None and self.quarantine_repair_s <= 0:
             raise ValueError("quarantine_repair_s must be positive")
+        if self.driver not in ("event", "interval"):
+            raise ValueError(f"driver must be 'event' or 'interval', got {self.driver!r}")
+        if self.backfill_depth is not None and self.backfill_depth < 1:
+            raise ValueError("backfill_depth must be >= 1 (or None for unbounded)")
 
 
 @dataclass
@@ -288,6 +314,41 @@ class PowerAwareScheduler:
         self.crash_failures = 0
         self.reclaimed_power_w = 0.0
 
+        # -- event-driven driver state -------------------------------------
+        #: Jobs that have left the active (PENDING/RUNNING) set, maintained
+        #: incrementally so run_until_complete's liveness check is O(1)
+        #: instead of scanning every submitted job per event step.
+        self._finished_count = 0
+        #: Event driver: a pass is armed at the next scheduler-grid time
+        #: (interval-parity for mutations no event follows, e.g. cancel).
+        self._grid_pass_armed = False
+        #: Next scheduler tick-grid time (event driver), advanced with the
+        #: same float accumulation the interval loop uses so deferred
+        #: passes land on bit-identical timestamps.
+        self._sched_grid: Optional[float] = None
+        #: Suspended-monitor state (event driver): while no job runs the
+        #: monitor process parks on ``_mon_wake`` and ``_mon_next`` holds
+        #: the first unsampled grid time; wakes replay the missed grid
+        #: bit-exactly before any state mutation.
+        self._mon_suspended = False
+        self._mon_wake = None
+        self._mon_next = 0.0
+        #: Cached hostname list for fault-injection sweeps (the node set
+        #: is immutable; rebuilding this per monitor sample is O(n) waste).
+        self._all_hostnames: Optional[List[str]] = None
+        # -- O(schedulable) pass state -------------------------------------
+        #: Feasibility epoch: bumped whenever anything _plan_launch depends
+        #: on changes (free-set version, committed power, schedulable
+        #: power).  A job marked infeasible at the current epoch cannot
+        #: have become feasible, so passes skip it without re-planning.
+        self._feas_epoch = 0
+        self._feas_key: Optional[Tuple[int, float, float]] = None
+        self._infeasible_at: Dict[str, int] = {}
+        #: Ranked-free-node cache, valid for one free-set version (the
+        #: efficiency key is immutable, so equal versions rank equally).
+        self._ranked_cache: Optional[np.ndarray] = None
+        self._ranked_cache_version = -1
+
     # -- public API ------------------------------------------------------------------
     def submit(self, request: JobRequest) -> Job:
         """Submit a job now; scheduling is attempted immediately.
@@ -298,6 +359,13 @@ class PowerAwareScheduler:
         queued, so one malformed request cannot wedge the FCFS head and
         starve the queue forever.
         """
+        job = self._enqueue(request)
+        if job.state is JobState.PENDING:
+            self._schedule()
+        return job
+
+    def _enqueue(self, request: JobRequest) -> Job:
+        """Register + queue one request without running a pass."""
         if request.job_id in self.jobs:
             raise ValueError(f"duplicate job id {request.job_id!r}")
         job = Job(request=request, submit_time_s=self.env.now)
@@ -305,13 +373,13 @@ class PowerAwareScheduler:
         acceptable = request.acceptable_node_counts()
         if not acceptable or min(acceptable) > len(self.cluster):
             job.mark_failed(self.env.now)
+            self._finished_count += 1
             job.launch_metadata["reject_reason"] = (
                 "no acceptable node count fits this cluster "
                 f"(acceptable={acceptable}, cluster={len(self.cluster)} nodes)"
             )
             return job
         self.queue.push(job)
-        self._schedule()
         return job
 
     def submit_trace(self, requests: Sequence[JobRequest]) -> None:
@@ -320,12 +388,16 @@ class PowerAwareScheduler:
         self.env.process(self._arrival_process(list(requests)))
 
     def start(self) -> None:
-        """Start the periodic scheduling and power-monitoring processes."""
+        """Start the driver processes (monitor; plus ticks under "interval")."""
         if self._started:
             return
         self._started = True
-        self.env.process(self._scheduler_loop())
-        self.env.process(self._monitor_loop())
+        self._sched_grid = self.env.now
+        if self.config.driver == "interval":
+            self.env.process(self._scheduler_loop())
+            self.env.process(self._monitor_loop())
+        else:
+            self.env.process(self._event_monitor_loop())
 
     def run_until_complete(self, extra_time_s: float = 0.0) -> "SchedulerStats":
         """Convenience driver: run the DES until all submitted jobs finished."""
@@ -333,7 +405,7 @@ class PowerAwareScheduler:
         guard = 0
         while (
             len(self.jobs) < self._expected_submissions
-            or any(j.is_active for j in self.jobs.values())
+            or self._finished_count < len(self.jobs)
             # Cancelled jobs stay in `running` until their simulator
             # unwinds; keep driving the DES so their nodes are reclaimed.
             or self.running
@@ -343,20 +415,41 @@ class PowerAwareScheduler:
                 break
             self.env.run(until=horizon)
             guard += 1
-            if guard > 10_000_000:  # pragma: no cover - runaway guard
+            if guard > 100_000_000:  # pragma: no cover - runaway guard
                 raise RuntimeError("scheduler did not converge")
         if extra_time_s > 0:
             self.env.run(until=self.env.now + extra_time_s)
+        # A suspended monitor owes the tail of its sampling grid (idle
+        # fast-forward skipped the ticks; nothing changed, so replaying
+        # them now is bit-identical to having ticked through).
+        self._monitor_catch_up(up_to_now=True)
         return self.stats()
 
     # -- DES processes ------------------------------------------------------------------
     def _arrival_process(self, requests: List[JobRequest]):
+        """Submit requests at their arrival times, one pass per timestamp.
+
+        Same-timestamp arrivals (common in integer-stamped SWF traces)
+        are queued as a batch before a single scheduling pass: the pass's
+        FCFS fixpoint loop launches them in submission order with exactly
+        the per-launch state updates per-submit passes would have made,
+        so coalescing is decision-identical while saving O(batch) full
+        passes.
+        """
         requests = sorted(requests, key=lambda r: r.arrival_time_s)
-        for request in requests:
-            delay = max(0.0, request.arrival_time_s - self.env.now)
+        i, n = 0, len(requests)
+        while i < n:
+            delay = requests[i].arrival_time_s - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)
-            self.submit(request)
+            arrived = requests[i].arrival_time_s
+            progressed = False
+            while i < n and requests[i].arrival_time_s == arrived:
+                job = self._enqueue(requests[i])
+                progressed = progressed or job.state is JobState.PENDING
+                i += 1
+            if progressed:
+                self._schedule()
 
     def _scheduler_loop(self):
         while True:
@@ -373,18 +466,73 @@ class PowerAwareScheduler:
             self._sample_power()
             yield self.env.timeout(self.config.monitor_interval_s)
 
-    def _sample_power(self) -> None:
+    def _event_monitor_loop(self):
+        """Event-driver monitor: tick while jobs run, suspend while idle.
+
+        While the running set is non-empty this is the interval monitor
+        verbatim (same sample times, same timeout accumulation — the
+        samples are bit-identical).  When the machine idles the process
+        parks on an event instead of burning a wakeup every interval;
+        :meth:`_monitor_catch_up` replays the skipped grid samples — at
+        their historical timestamps, with provably unchanged state —
+        before anything mutates power/allocation state.
+        """
+        interval = self.config.monitor_interval_s
+        while True:
+            self._sample_power()
+            if self.running:
+                yield self.env.timeout(interval)
+                continue
+            self._mon_suspended = True
+            self._mon_next = self.env.now + interval
+            self._mon_wake = self.env.event()
+            yield self._mon_wake
+            # Resumed (and caught up) by _resume_monitor; land the next
+            # real sample back on the historical grid.
+            delay = self._mon_next - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+
+    # repro-lint: hot
+    def _monitor_catch_up(self, up_to_now: bool = False) -> None:
+        """Replay grid samples the suspended monitor skipped (< now).
+
+        Valid only because nothing that the sample reads — node power
+        draw, the free mask, package temperatures — changes while zero
+        jobs run, except through the replayed samples themselves (thermal
+        excursions consume their RNG streams in replay order, exactly as
+        interval ticks would have).  Callers must invoke this BEFORE
+        mutating any of that state.
+        """
+        if not self._mon_suspended:
+            return
+        interval = self.config.monitor_interval_s
         now = self.env.now
+        while self._mon_next < now or (up_to_now and self._mon_next == now):
+            self._sample_power(at=self._mon_next)
+            self._mon_next = self._mon_next + interval
+
+    # repro-lint: hot
+    def _resume_monitor(self) -> None:
+        """Wake the suspended monitor (first launch after an idle spell)."""
+        if not self._mon_suspended:
+            return
+        self._mon_suspended = False
+        self._mon_wake.succeed()
+
+    def _sample_power(self, at: Optional[float] = None) -> None:
+        now = self.env.now if at is None else at
         inj = _faults.active()
         if inj is not None and inj.enabled:
+            cluster = self.cluster
+            if self._all_hostnames is None:
+                self._all_hostnames = [node.hostname for node in cluster.nodes]
             # Thermal excursions land on the monitoring tick: an eligible
             # node's packages spike, which thermal-aware selection and the
             # BMC cpu_temp sensor then observe.
-            for hostname, delta_c in inj.thermal_excursions(
-                [node.hostname for node in self.cluster.nodes]
-            ):
-                node = self.cluster.node(hostname)
-                self.cluster.state.pkg_temperature_c[node.node_id] += delta_c
+            for hostname, delta_c in inj.thermal_excursions(self._all_hostnames):
+                cluster.state.pkg_temperature_c[cluster.node(hostname).node_id] += delta_c
+                cluster.state.power_inputs_version += 1
         busy = self.cluster.state.busy_count
         dt = now - self._last_utilization_sample_s
         if dt > 0:
@@ -414,13 +562,30 @@ class PowerAwareScheduler:
         return len(self.cluster.free_nodes())
 
     def _ranked_free_indices(self) -> Sequence[int]:
-        """Free nodes in selection order (best-first for the active policy)."""
+        """Free nodes in selection order (best-first for the active policy).
+
+        The vectorized non-thermal ranking is memoized per free-set
+        version: the efficiency key is immutable after construction, so
+        an unchanged free mask ranks identically and one argsort serves
+        every candidate a pass plans.  Thermal ranking keys on drifting
+        temperatures and stays uncached.
+        """
         if self.config.vectorized:
             if self.config.thermal_aware_node_selection:
                 return self.cluster.rank_free_by_temperature()
+            state = self.cluster.state
+            if (
+                self._ranked_cache is not None
+                and self._ranked_cache_version == state.free_version
+            ):
+                return self._ranked_cache
             if self.config.power_aware_node_selection:
-                return self.cluster.rank_free_by_efficiency()
-            return self.cluster.free_node_indices()
+                ranked = self.cluster.rank_free_by_efficiency()
+            else:
+                ranked = self.cluster.free_node_indices()
+            self._ranked_cache = ranked
+            self._ranked_cache_version = state.free_version
+            return ranked
         free = self.cluster.free_nodes()
         if self.config.thermal_aware_node_selection:
             ranked = self.cluster.rank_nodes_by_temperature(free)
@@ -459,7 +624,8 @@ class PowerAwareScheduler:
         ranked = self._ranked_free_indices()
         if len(ranked) < count:
             return None
-        indices = tuple(int(i) for i in ranked[:count])
+        chosen = ranked[:count]
+        indices = tuple(chosen.tolist() if isinstance(chosen, np.ndarray) else chosen)
         spec = self.cluster.spec.node
         budget = self.policies.job_budget_w(
             job_nodes=count,
@@ -487,6 +653,28 @@ class PowerAwareScheduler:
     def _fits_now(self, job: Job) -> bool:
         return self._plan_launch(job) is not None
 
+    # repro-lint: hot
+    def _feasibility_epoch(self) -> int:
+        """Epoch of everything :meth:`_plan_launch` depends on.
+
+        A launch plan is a pure function of (free-set identity, committed
+        power, schedulable power, the job's own immutable request), so a
+        job found infeasible at some epoch is still infeasible while the
+        epoch holds — passes skip it without re-planning.  Thermal-aware
+        selection additionally keys on drifting temperatures and opts out
+        of marks entirely.
+        """
+        key = (
+            self.cluster.state.free_version,
+            self._committed_power_w,
+            self.policies.schedulable_power_w,
+        )
+        if key != self._feas_key:
+            self._feas_key = key
+            self._feas_epoch += 1
+        return self._feas_epoch
+
+    # repro-lint: hot
     def _schedule(self) -> None:
         """One scheduling pass: FCFS head first, then EASY backfill.
 
@@ -495,16 +683,28 @@ class PowerAwareScheduler:
         remaining candidates are re-filtered against the fresh value, so
         a later backfill can never ride on a stale reservation and delay
         the head job.
+
+        Per-job infeasibility marks make the pass O(schedulable): a job
+        that failed to plan is remembered against the current feasibility
+        epoch and skipped — provably without changing any decision —
+        until launches/releases/budget changes bump the epoch.
         """
+        use_marks = not self.config.thermal_aware_node_selection
+        marks = self._infeasible_at
         progressed = True
         while progressed:
             progressed = False
             head = self.queue.head()
             if head is None:
                 return
+            if use_marks and marks.get(head.job_id) == self._feasibility_epoch():
+                break
             if self._try_start(head):
                 self.queue.remove(head)
+                marks.pop(head.job_id, None)
                 progressed = True
+            elif use_marks:
+                marks[head.job_id] = self._feasibility_epoch()
         if not self.config.backfill:
             return
         head = self.queue.head()
@@ -512,8 +712,18 @@ class PowerAwareScheduler:
             return
         shadow = self._shadow_time(head)
         self._record_reservation(head, shadow)
+
+        def fits(job: Job) -> bool:
+            if use_marks and marks.get(job.job_id) == self._feasibility_epoch():
+                return False
+            ok = self._fits_now(job)
+            if not ok and use_marks:
+                marks[job.job_id] = self._feasibility_epoch()
+            return ok
+
         candidates = self.queue.backfill_candidates(
-            self.env.now, shadow, fits=lambda job: self._fits_now(job)
+            self.env.now, shadow, fits=fits,
+            max_candidates=self.config.backfill_depth,
         )
         for job in candidates:
             # Re-filter against the reservation as recomputed after the
@@ -522,15 +732,72 @@ class PowerAwareScheduler:
                 continue
             plan = self._plan_launch(job)
             if plan is None:
+                if use_marks:
+                    marks[job.job_id] = self._feasibility_epoch()
                 continue
             self._launch(
                 job, self.cluster.nodes_at(plan.node_indices), plan.budget_w,
                 backfilled=True, plan=plan,
             )
             self.queue.remove(job)
+            marks.pop(job.job_id, None)
             self.backfilled_jobs += 1
             shadow = self._shadow_time(head)
             self._record_reservation(head, shadow)
+
+    # repro-lint: hot
+    def _request_schedule(self) -> None:
+        """Run a pass for the current timestamp, inline, under both drivers.
+
+        Completion-triggered passes deliberately stay per-trigger: node
+        selection ranks the free pool at pass time, so batching two
+        same-instant completions into one pass is decision-*visible*
+        (the second job's nodes would join the pool before the first
+        pass ranked it — runtime floors make simultaneous finishes
+        real).  Per-trigger inline passes make the event driver's call
+        sequence exactly the interval compat mode's, so parity holds
+        structurally.  Same-timestamp triggers that ARE decision-neutral
+        coalesce upstream instead: arrival batches run one pass per
+        timestamp (:meth:`_arrival_process`), and tickless mutations
+        with no event of their own (pending cancels, corridor reclaims)
+        share one grid-armed pass (:meth:`_request_grid_pass`).
+        """
+        self._schedule()
+
+    def _request_grid_pass(self) -> None:
+        """Arm a pass at the next scheduler tick-grid time (event driver).
+
+        Mutations that no event follows — a pending-job cancel, a
+        corridor reclaim freeing nodes — were historically picked up by
+        the next interval tick.  The event driver replicates exactly that
+        timestamp: the grid is advanced with the same float accumulation
+        the tick loop uses, so the deferred pass makes bit-identical
+        decisions at bit-identical times.
+        """
+        if self.config.driver == "interval" or self._grid_pass_armed:
+            return
+        if self._sched_grid is None:
+            # Driver not started yet: the start()-time pass covers it.
+            return
+        interval = self.config.scheduling_interval_s
+        now = self.env.now
+        grid = self._sched_grid
+        while grid <= now:
+            grid = grid + interval
+        self._sched_grid = grid
+        if (
+            self.config.max_simulated_time_s is not None
+            and grid > self.config.max_simulated_time_s
+        ):
+            # The interval loop would have stopped ticking before this
+            # grid point; stay faithful to that.
+            return
+        self._grid_pass_armed = True
+        self.env.timeout(grid - now).callbacks.append(self._fire_grid_pass)
+
+    def _fire_grid_pass(self, _event) -> None:
+        self._grid_pass_armed = False
+        self._schedule()
 
     def _record_reservation(self, head: Job, shadow: float) -> None:
         current = self.head_reservations.get(head.job_id)
@@ -602,8 +869,10 @@ class PowerAwareScheduler:
         can populate a realistic running set without driving job
         simulators.
         """
-        for node in nodes:
-            node.allocate(job.job_id)
+        # The suspended monitor must replay its idle grid BEFORE this
+        # launch mutates allocation/power state, and ticks again after.
+        self._monitor_catch_up()
+        self.cluster.allocate_nodes(nodes, job.job_id)
         job.mark_started(self.env.now, nodes, budget_w)
         job.launch_metadata.setdefault("power_budget_w", budget_w)
         job.launch_metadata["backfilled"] = backfilled
@@ -619,6 +888,7 @@ class PowerAwareScheduler:
             self.env.now + job.request.walltime_estimate_s,
             len(nodes),
         )
+        self._resume_monitor()
 
     def _launch(
         self,
@@ -634,20 +904,43 @@ class PowerAwareScheduler:
             runtime = self._default_runtime(job, budget_w)
         self.runtime_handles[job.job_id] = runtime
 
-        sim = self._sims[job.job_id] = MpiJobSimulator(
-            self.env,
-            nodes,
-            job.request.application,
-            job.request.params,
-            ranks_per_node=job.request.ranks_per_node,
-            hooks=runtime,
-            streams=self.streams.spawn(job.job_id),
-            static_imbalance=self.config.static_imbalance,
-            imbalance_sigma=self.config.imbalance_sigma,
-            job_id=job.job_id,
-        )
+        # Applications may bring their own simulator (duck-typed hook):
+        # trace-replay workloads substitute a constant-power fixed-length
+        # simulation so mega-scale traces skip the per-region physics.
+        make_simulator = getattr(job.request.application, "make_simulator", None)
+        if make_simulator is not None:
+            sim = self._sims[job.job_id] = make_simulator(
+                self.env, nodes, job, runtime
+            )
+        else:
+            sim = self._sims[job.job_id] = MpiJobSimulator(
+                self.env,
+                nodes,
+                job.request.application,
+                job.request.params,
+                ranks_per_node=job.request.ranks_per_node,
+                hooks=runtime,
+                streams=self.streams.spawn(job.job_id),
+                static_imbalance=self.config.static_imbalance,
+                imbalance_sigma=self.config.imbalance_sigma,
+                job_id=job.job_id,
+            )
         self._account_launch(job, nodes, budget_w, backfilled, plan)
-        self.env.process(self._job_process(job, sim))
+        # Simulators with no interior structure (trace replay) schedule
+        # their completion as a single timeout instead of a generator
+        # process: one DES event per job instead of three.  Everything
+        # else rides the simulator's own process event rather than a
+        # wrapper process: two fewer DES events per job, and the
+        # teardown runs at the same point it always did (the wrapper's
+        # body was itself a callback of this event).
+        start_detached = getattr(sim, "start_detached", None)
+        if start_detached is not None:
+            start_detached(lambda result, _job=job: self._complete_job(_job, result))
+        else:
+            proc = self.env.process(sim.run())
+            proc.callbacks.append(
+                lambda event, _job=job: self._on_job_done(_job, event)
+            )
         inj = _faults.active()
         if inj is not None and inj.enabled:
             crash = inj.node_crash(
@@ -658,19 +951,33 @@ class PowerAwareScheduler:
             if crash is not None:
                 self.env.process(self._crash_process(job, sim, *crash))
 
-    def _job_process(self, job: Job, sim: MpiJobSimulator):
-        result = yield self.env.process(sim.run())
+    # repro-lint: hot
+    def _on_job_done(self, job: Job, event) -> None:
+        """Callback on the simulator process event: job teardown.
+
+        A failed simulator process is left alone — the event stays
+        undefused, so the engine re-raises the error out of ``run()``
+        exactly as it did when a wrapper process rethrew it.
+        """
+        if not event.ok:
+            return
+        self._complete_job(job, event._value)
+
+    # repro-lint: hot
+    def _complete_job(self, job: Job, result) -> None:
+        """Shared teardown for process-event and detached completions."""
         crashed_host = self._crashed.pop(job.job_id, None)
         if crashed_host is not None and job.state is JobState.RUNNING:
             self._recover_from_crash(job, crashed_host, result)
             return
         if job.state is JobState.RUNNING:
             job.mark_completed(self.env.now, result)
+            self._finished_count += 1
         else:
             job.result = result
         self._finish(job)
 
-    def _crash_process(self, job: Job, sim: MpiJobSimulator, hostname: str, delay_s: float):
+    def _crash_process(self, job: Job, sim, hostname: str, delay_s: float):
         """DES process: kill one of the job's nodes after ``delay_s``.
 
         A stale crash (the job already finished, or was re-queued and
@@ -698,10 +1005,11 @@ class PowerAwareScheduler:
         else:
             job.result = result
             job.mark_failed(self.env.now)
+            self._finished_count += 1
             self.crash_failures += 1
             self.completed.append(job)
         self._sample_power()
-        self._schedule()
+        self._request_schedule()
 
     def _quarantine_node(self, hostname: str) -> None:
         """Drain a crashed node until its repair completes.
@@ -729,12 +1037,15 @@ class PowerAwareScheduler:
     def _repair_process(self, hostname: str, owner: str):
         release_at = self.quarantined[hostname]
         yield self.env.timeout(release_at - self.env.now)
+        # A repair can complete during an idle spell: settle the monitor's
+        # grid before the release changes the busy count it samples.
+        self._monitor_catch_up()
         node = self.cluster.node(hostname)
         if node.allocated_to == owner:
             node.release()
         self._availability.remove(owner)
         self.quarantined.pop(hostname, None)
-        self._schedule()
+        self._request_schedule()
 
     def _release_allocation(self, job: Job) -> None:
         """Tear down a launch's ledgers (shared by _finish and crash recovery)."""
@@ -747,9 +1058,10 @@ class PowerAwareScheduler:
         self._committed_power_w -= commitment
         self._committed_power_w = max(0.0, self._committed_power_w)
         owned = self._owned_nodes.pop(job.job_id, job.assigned_nodes)
-        for node in owned:
-            if node.allocated_to == job.job_id:
-                node.release()
+        job_id = job.job_id
+        self.cluster.release_nodes(
+            [node for node in owned if node._allocated_to == job_id]
+        )
         self.running.pop(job.job_id, None)
         self._availability.remove(job.job_id)
 
@@ -758,7 +1070,7 @@ class PowerAwareScheduler:
         if job.state is not JobState.CANCELLED:
             self.completed.append(job)
         self._sample_power()
-        self._schedule()
+        self._request_schedule()
 
     def cancel(self, job_id: str) -> None:
         """Cancel a pending or running job (running jobs stop at the next iteration)."""
@@ -766,11 +1078,17 @@ class PowerAwareScheduler:
         if job.state is JobState.PENDING:
             self.queue.remove(job)
             job.mark_cancelled(self.env.now)
+            self._finished_count += 1
+            # A pending cancel can unblock the FCFS head.  The interval
+            # driver picks that up at its next tick; the event driver arms
+            # a pass at that same grid time.
+            self._request_grid_pass()
         elif job.state is JobState.RUNNING:
             sim = self._sims.get(job_id)
             if sim is not None:
                 sim.cancel()
             job.mark_cancelled(self.env.now)
+            self._finished_count += 1
             # The underlying simulator stops at the next iteration boundary.
             # The job stays in ``self.running`` (and in the availability
             # profile) until _finish actually reclaims its nodes: popping

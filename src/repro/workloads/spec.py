@@ -1,0 +1,96 @@
+"""Workload specs: one-line strings naming a job trace.
+
+Campaigns and the CLI describe *which* workload to replay with a
+compact ``kind:...`` string — the workload axis of a scenario — so
+specs can be written down in JSON, shipped to worker processes, and
+reproduced later, exactly like :class:`~repro.experiments.scenarios`
+budget traces:
+
+* ``swf:/path/to/trace.swf`` — a Standard Workload Format log, with
+  optional converter knobs: ``swf:/p/kit.swf,procs_per_node=48,``
+  ``max_nodes=1024,on_error=skip``;
+* ``synth:n_jobs=100000,mean_interarrival_s=0.7,...`` — a deterministic
+  synthetic replay trace; any keyword of
+  :func:`~repro.workloads.synth.synthesize_replay_trace` is accepted,
+  and ``seed`` defaults to the experiment seed so multi-seed scenarios
+  decorrelate their traces.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, List, Tuple
+
+from repro.apps.generator import JobRequest
+from repro.workloads.swf import read_swf, swf_to_requests
+from repro.workloads.synth import synthesize_replay_trace
+
+__all__ = ["parse_workload_spec", "workload_requests"]
+
+
+def _parse_kwargs(parts: List[str], spec: str) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    for part in parts:
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(f"workload spec {spec!r}: expected key=value, got {part!r}")
+        raw = raw.strip()
+        if raw.lower() in ("none", ""):
+            kwargs[key] = None
+        else:
+            try:
+                kwargs[key] = int(raw)
+            except ValueError:
+                try:
+                    kwargs[key] = float(raw)
+                except ValueError:
+                    kwargs[key] = raw
+    return kwargs
+
+
+def parse_workload_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a workload spec into ``(kind, options)`` without running it.
+
+    ``swf:`` specs return their path under the ``"path"`` key; numeric
+    option values come back as int/float, ``none`` as None.
+    """
+    kind, sep, rest = spec.partition(":")
+    kind = kind.strip().lower()
+    if not sep or kind not in ("swf", "synth"):
+        raise ValueError(
+            f"workload spec must look like 'swf:/path.swf,...' or "
+            f"'synth:n_jobs=...,...', got {spec!r}"
+        )
+    parts = [part for part in rest.split(",") if part.strip()]
+    if kind == "swf":
+        if not parts or "=" in parts[0]:
+            raise ValueError(f"workload spec {spec!r}: swf needs a leading path")
+        options = _parse_kwargs(parts[1:], spec)
+        options["path"] = parts[0].strip()
+        return kind, options
+    return kind, _parse_kwargs(parts, spec)
+
+
+def workload_requests(spec: str, seed: int = 0) -> List[JobRequest]:
+    """Materialize a workload spec into scheduler-ready job requests."""
+    kind, options = parse_workload_spec(spec)
+    if kind == "swf":
+        path = options.pop("path")
+        on_error = options.pop("on_error", "raise")
+        allowed = set(inspect.signature(swf_to_requests).parameters) - {"trace"}
+        unknown = sorted(set(options) - allowed)
+        if unknown:
+            raise ValueError(f"workload spec {spec!r}: unknown swf option(s) {unknown}")
+        return swf_to_requests(read_swf(path, on_error=on_error), **options)
+    if "count" not in options:
+        count = options.pop("n_jobs", None)
+        if count is None:
+            raise ValueError(f"workload spec {spec!r}: synth needs n_jobs=<count>")
+        options["count"] = count
+    allowed = set(inspect.signature(synthesize_replay_trace).parameters)
+    unknown = sorted(set(options) - allowed)
+    if unknown:
+        raise ValueError(f"workload spec {spec!r}: unknown synth option(s) {unknown}")
+    options.setdefault("seed", seed)
+    return synthesize_replay_trace(**options)

@@ -96,7 +96,7 @@ def test_scenario_spec_round_trip_with_trace():
 # -- registry ---------------------------------------------------------------
 def test_registry_has_all_seven_use_cases():
     names = [d.name for d in list_use_cases()]
-    assert names == ["uc1", "uc2", "uc3", "uc4", "uc5", "uc6", "uc7"]
+    assert names == ["trace", "uc1", "uc2", "uc3", "uc4", "uc5", "uc6", "uc7"]
 
 
 def test_registry_defaults_are_introspected():

@@ -34,6 +34,11 @@ PERF_GUARDED_KEYS = {
     "campaign": ("speedup",),
     "chaos": ("recovery_passes",),
     "durability": ("append_runs_per_sec", "recover_runs_per_sec"),
+    "netserver": (
+        "envelopes_per_sec",
+        "speedup_vs_single_stream",
+        "concurrent_connections",
+    ),
 }
 PERF_REGRESSION_TOLERANCE = 0.20
 

@@ -1,0 +1,126 @@
+"""Length-framed wire protocol for the TCP transport.
+
+One frame = a 4-byte big-endian unsigned length header followed by that
+many bytes of UTF-8 JSON — one request or response envelope per frame
+(the same envelopes the stdin JSON-lines driver speaks, see
+``repro.service.envelopes``).  Framing instead of newline delimiting
+lets the router forward opaque frames without re-serialising and makes
+truncation detectable: a frame either arrives whole or the connection is
+known-broken.
+
+The per-frame size cap is the transport-shared
+:data:`~repro.service.envelopes.MAX_WIRE_BYTES`: a header declaring more
+than the cap is rejected *before* any payload is buffered, so a hostile
+peer cannot make the server allocate an arbitrarily large buffer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import List, Optional
+
+from repro.service.envelopes import MAX_WIRE_BYTES
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "MAX_RESPONSE_BYTES",
+    "FRAME_HEADER",
+    "FrameTooLarge",
+    "encode_frame",
+    "frame_text",
+    "read_frame",
+    "FrameBuffer",
+]
+
+#: Per-frame payload cap — the one limit every transport shares.
+MAX_FRAME_BYTES = MAX_WIRE_BYTES
+
+#: Cap for *response* frames (server → client).  Requests are bounded by
+#: :data:`MAX_FRAME_BYTES`, but a legitimate response (a large campaign
+#: summary, a db dump) can exceed what we accept from an untrusted peer.
+MAX_RESPONSE_BYTES = MAX_WIRE_BYTES * 64
+
+#: The 4-byte big-endian unsigned length header.
+FRAME_HEADER = struct.Struct(">I")
+
+
+class FrameTooLarge(ValueError):
+    """A frame header declared a payload beyond :data:`MAX_FRAME_BYTES`."""
+
+    def __init__(self, n_bytes: int, limit: int = MAX_FRAME_BYTES):
+        super().__init__(
+            f"frame of {n_bytes} bytes exceeds the {limit}-byte wire limit"
+        )
+        self.n_bytes = int(n_bytes)
+        self.limit = int(limit)
+
+
+def encode_frame(payload: bytes, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Header + payload as one ``bytes`` (one ``write()`` per frame)."""
+    if len(payload) > max_bytes:
+        raise FrameTooLarge(len(payload), max_bytes)
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def frame_text(text: str, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Frame one JSON envelope line (UTF-8)."""
+    return encode_frame(text.encode("utf-8"), max_bytes)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[bytes]:
+    """Read one complete frame payload.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  A connection
+    dropped mid-frame raises :class:`asyncio.IncompleteReadError`
+    (truncated frame — the stream is unrecoverable); an oversized header
+    raises :class:`FrameTooLarge` before buffering any payload.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:  # EOF exactly between frames: clean close
+            return None
+        raise
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameTooLarge(length, max_bytes)
+    if length == 0:
+        return b""
+    return await reader.readexactly(length)
+
+
+class FrameBuffer:
+    """Incremental (sans-IO) frame decoder for chunked reads.
+
+    The router reads the socket in large chunks and feeds them here;
+    every call returns the complete frames that chunk finished, keeping
+    any trailing partial frame buffered for the next feed.  Oversized
+    headers raise :class:`FrameTooLarge` immediately.
+    """
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES):
+        self.max_bytes = int(max_bytes)
+        self._buffer = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Buffer one chunk; return the frames it completed (in order)."""
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        buffer = self._buffer
+        header_size = FRAME_HEADER.size
+        while len(buffer) >= header_size:
+            (length,) = FRAME_HEADER.unpack_from(buffer, 0)
+            if length > self.max_bytes:
+                raise FrameTooLarge(length, self.max_bytes)
+            end = header_size + length
+            if len(buffer) < end:
+                break
+            frames.append(bytes(buffer[header_size:end]))
+            del buffer[:end]
+        return frames

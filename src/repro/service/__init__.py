@@ -15,6 +15,7 @@ Run ``python -m repro.service`` for the JSON-lines driver / REPL, or use
 
 from repro.service.client import ServiceCallError, ServiceClient, SessionHandle
 from repro.service.envelopes import (
+    MAX_WIRE_BYTES,
     PROTOCOL_VERSION,
     Request,
     Response,
@@ -30,6 +31,7 @@ from repro.service.service import (
 
 __all__ = [
     "EVALUATOR_REGISTRY",
+    "MAX_WIRE_BYTES",
     "PROTOCOL_VERSION",
     "Request",
     "Response",

@@ -26,16 +26,28 @@ from repro.powerapi.context import ErrorCode as PowerErrorCode
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MAX_WIRE_BYTES",
     "ServiceErrorCode",
     "ServiceError",
     "Request",
     "Response",
     "jsonify",
+    "wire_limit_error",
+    "decode_wire_line",
+    "parse_wire_request",
 ]
 
 #: Wire protocol version.  Major mismatch is rejected with
 #: ``SVC_RET_UNSUPPORTED_PROTOCOL``; minor revisions are compatible.
 PROTOCOL_VERSION = "1.0"
+
+#: Upper bound on one wire envelope, shared by *every* transport: the
+#: stdin JSON-lines driver caps its request lines here, and the framed
+#: TCP transport (``repro.netserver``) rejects any frame whose declared
+#: length exceeds it.  A transport feeding the service unbounded garbage
+#: gets a structured ``SVC_RET_BAD_REQUEST``, not memory pressure from
+#: parsing an arbitrarily large document.
+MAX_WIRE_BYTES = 1 << 20
 
 
 class ServiceErrorCode(str, Enum):
@@ -247,6 +259,48 @@ class Response:
     @classmethod
     def from_json(cls, text: str) -> "Response":
         return cls.from_dict(json.loads(text))
+
+
+def wire_limit_error(n_bytes: int) -> ServiceError:
+    """The structured oversize failure every transport answers with."""
+    return ServiceError(
+        ServiceErrorCode.BAD_REQUEST,
+        f"request of {n_bytes} bytes exceeds the {MAX_WIRE_BYTES}-byte wire limit",
+    )
+
+
+def decode_wire_line(line: str) -> Dict[str, Any]:
+    """One shared oversize/malformed gate for every wire transport.
+
+    Enforces :data:`MAX_WIRE_BYTES` and JSON well-formedness, converting
+    *any* parse failure — including pathological input whose failure is
+    not a ``ValueError`` (deep nesting hitting the recursion limit, say)
+    — into a structured :class:`ServiceError`.  Returns the raw envelope
+    dictionary so a routing transport can inspect tenant/session fields
+    before full :class:`Request` validation.
+    """
+    if len(line) > MAX_WIRE_BYTES:
+        raise wire_limit_error(len(line))
+    try:
+        data = json.loads(line)
+    except Exception as error:  # json can fail beyond ValueError on hostile input
+        raise ServiceError(
+            ServiceErrorCode.BAD_REQUEST,
+            f"malformed request: {type(error).__name__}: {error}",
+        ) from error
+    if not isinstance(data, Mapping):
+        raise ServiceError(ServiceErrorCode.BAD_REQUEST, "request must be an object")
+    return dict(data)
+
+
+def parse_wire_request(line: str) -> "Request":
+    """Decode one wire line into a validated :class:`Request`.
+
+    The composition every transport uses: :func:`decode_wire_line`
+    (size + JSON shape) followed by :meth:`Request.from_dict` (envelope
+    fields), all failures structured :class:`ServiceError`\\ s.
+    """
+    return Request.from_dict(decode_wire_line(line))
 
 
 def protocol_compatible(protocol: str) -> Tuple[bool, str]:

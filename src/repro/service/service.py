@@ -56,11 +56,13 @@ from repro.resource_manager.job import JobState
 from repro.resource_manager.slurm import PowerAwareScheduler, SchedulerConfig
 from repro.runtime.base import JobRuntime
 from repro.service.envelopes import (
+    MAX_WIRE_BYTES,
     PROTOCOL_VERSION,
     Request,
     Response,
     ServiceError,
     ServiceErrorCode,
+    parse_wire_request,
     protocol_compatible,
 )
 from repro.sim.engine import Environment
@@ -394,30 +396,23 @@ class StackService:
             return Response.failure(error.code, error.message).to_dict()
         return self.handle(request).to_dict()
 
-    #: Upper bound on one wire line.  A transport feeding the service
-    #: unbounded garbage gets a structured BAD_REQUEST, not memory
-    #: pressure from parsing an arbitrarily large document.
-    MAX_REQUEST_BYTES = 1 << 20
+    #: Upper bound on one wire line — the transport-shared limit from
+    #: :data:`repro.service.envelopes.MAX_WIRE_BYTES` (the framed TCP
+    #: transport enforces the same constant per frame).
+    MAX_REQUEST_BYTES = MAX_WIRE_BYTES
 
     def handle_wire(self, line: str) -> str:
         """One JSON line in, one JSON line out (the stdin driver's path).
 
-        Never raises: malformed, hostile or oversized input — including
-        input whose parse fails with something other than ``ValueError``
-        (deep nesting hitting the recursion limit, say) — comes back as
-        a structured failure envelope.
+        Never raises: malformed, hostile or oversized input goes through
+        the transport-shared :func:`~repro.service.envelopes.parse_wire_request`
+        gate and comes back as a structured failure envelope.
         """
         try:
-            if len(line) > self.MAX_REQUEST_BYTES:
-                raise ServiceError(
-                    ServiceErrorCode.BAD_REQUEST,
-                    f"request of {len(line)} bytes exceeds the "
-                    f"{self.MAX_REQUEST_BYTES}-byte wire limit",
-                )
-            request = Request.from_json(line)
+            request = parse_wire_request(line)
         except ServiceError as error:
             return Response.failure(error.code, error.message).to_json()
-        except Exception as error:  # parse failures beyond from_json's map
+        except Exception as error:  # defensive: the gate itself must not crash
             return Response.failure(
                 ServiceErrorCode.BAD_REQUEST,
                 f"malformed request: {type(error).__name__}: {error}",

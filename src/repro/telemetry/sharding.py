@@ -40,6 +40,16 @@ __all__ = ["ShardedPerformanceDatabase"]
 
 _MANIFEST = "manifest.json"
 
+#: Cache-miss sentinel for ``best_for`` memoization (``None`` is a valid
+#: cached answer: "no record matches these filters").
+_ABSENT = object()
+
+#: Distinct ``best_for`` query shapes memoized before the cache resets.
+#: Real workloads ask a handful of shapes per tenant; the cap only bounds
+#: adversarial churn, since every live entry costs one match attempt per
+#: ``add``.
+_BEST_CACHE_MAX = 4096
+
 
 class ShardedPerformanceDatabase:
     """N ``PerformanceDatabase`` shards behind a single-database facade.
@@ -73,6 +83,16 @@ class ShardedPerformanceDatabase:
         #: journal *before* mutating in-memory state.  ``None`` costs one
         #: attribute read per add — the journal-disabled overhead budget.
         self._journal: Optional[Any] = None
+        #: Running best per ``best_for`` query shape: (minimize, sorted
+        #: tag filters) -> (objective, global index) or None.  Maintained
+        #: incrementally by add() — a repeated fan-in ``best_for`` is O(1)
+        #: instead of an all-shard scan — and bit-identical to the scan by
+        #: construction: a new record only displaces the cached winner
+        #: when strictly better, which is exactly the global-order
+        #: tie-breaking the scan applies (earlier record wins ties).
+        self._best_cache: Dict[
+            Tuple[bool, Tuple[Tuple[str, str], ...]], Optional[Tuple[float, int]]
+        ] = {}
 
     # -- routing -----------------------------------------------------------
     @property
@@ -107,7 +127,38 @@ class ShardedPerformanceDatabase:
         self._global[shard].append(len(self._locator))
         self._global_arrays[shard] = None
         self._locator.append((shard, local))
+        if self._best_cache:
+            self._update_best_cache(record, len(self._locator) - 1)
         return shard
+
+    def _update_best_cache(self, record: EvaluationRecord, global_index: int) -> None:
+        """Fold one new record into every cached ``best_for`` answer.
+
+        Mirrors the tag-index match semantics of
+        :meth:`PerformanceDatabase.where_indices`: a record matches a
+        filter pair when the tag key is present and its stringified value
+        equals the stringified filter value.  Ties keep the cached record
+        (it has the lower global index by construction).
+        """
+        tags = record.tags
+        objective = record.objective
+        cache = self._best_cache
+        for key, current in cache.items():
+            minimize, filters = key
+            matched = True
+            for filter_key, filter_value in filters:
+                value = tags.get(filter_key, _ABSENT)
+                if value is _ABSENT or str(value) != filter_value:
+                    matched = False
+                    break
+            if not matched:
+                continue
+            if (
+                current is None
+                or (minimize and objective < current[0])
+                or (not minimize and objective > current[0])
+            ):
+                cache[key] = (objective, global_index)
 
     # -- durability --------------------------------------------------------
     @property
@@ -275,7 +326,20 @@ class ShardedPerformanceDatabase:
     def best_for(
         self, minimize: bool = True, **tag_filters: str
     ) -> Optional[EvaluationRecord]:
-        """Fan-out best-record query; ties resolve in global order."""
+        """Fan-out best-record query; ties resolve in global order.
+
+        Answers are memoized per (minimize, filters) shape and kept
+        current incrementally by :meth:`add`, so the steady-state cost of
+        the control plane's per-run "best so far" probe is a dict hit
+        instead of an all-shard scan (ROADMAP item 4).
+        """
+        cache_key = (
+            bool(minimize),
+            tuple(sorted((str(k), str(v)) for k, v in tag_filters.items())),
+        )
+        cached = self._best_cache.get(cache_key, _ABSENT)
+        if cached is not _ABSENT:
+            return None if cached is None else self._record_at(cached[1])
         best: Optional[Tuple[float, int]] = None
         for shard_index, shard in enumerate(self.shards):
             local = shard.where_indices(**tag_filters)
@@ -292,6 +356,9 @@ class ShardedPerformanceDatabase:
             else:
                 if candidate[0] > best[0] or (candidate[0] == best[0] and candidate[1] < best[1]):
                     best = candidate
+        if len(self._best_cache) >= _BEST_CACHE_MAX:
+            self._best_cache.clear()
+        self._best_cache[cache_key] = best
         return None if best is None else self._record_at(best[1])
 
     def top_k(self, k: int, minimize: bool = True) -> List[EvaluationRecord]:

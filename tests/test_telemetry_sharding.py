@@ -198,3 +198,67 @@ def test_explicit_shard_key_overrides_tag_routing():
     record = EvaluationRecord(config={}, metrics={}, objective=1.0, tags={"tenant": "a"})
     explicit = sharded.add(record, shard_key="pinned")
     assert explicit == sharded.shard_index("pinned")
+
+
+# -- best_for memoization (ROADMAP item 4) ---------------------------------
+def test_best_for_cache_stays_correct_under_interleaved_adds():
+    """Query/add/query interleaving: cached answers must track every add."""
+    rng = np.random.default_rng(7)
+    single = PerformanceDatabase("reference")
+    sharded = ShardedPerformanceDatabase(n_shards=4)
+    for i in range(300):
+        tenant = f"tenant{int(rng.integers(0, 4))}"
+        kwargs = dict(
+            config={"x": i},
+            metrics={},
+            objective=float(rng.choice([1.0, 2.0, float(rng.normal())])),
+            tenant=tenant,
+            session=f"{tenant}-s{int(rng.integers(0, 2))}",
+        )
+        single.add_evaluation(**kwargs)
+        sharded.add_evaluation(**kwargs)
+        if i % 7 == 0:  # query mid-stream so later adds hit a warm cache
+            for minimize in (True, False):
+                assert sharded.best_for(minimize=minimize) == single.best_for(
+                    minimize=minimize
+                ), f"after {i + 1} records (minimize={minimize})"
+                assert sharded.best_for(
+                    minimize=minimize, tenant=tenant
+                ) == single.best_for(minimize=minimize, tenant=tenant)
+    for tenant in single.tag_values("tenant"):
+        assert sharded.best_for(tenant=tenant) == single.best_for(tenant=tenant)
+
+
+def test_best_for_cached_none_upgrades_when_match_arrives():
+    sharded = ShardedPerformanceDatabase(n_shards=4)
+    sharded.add_evaluation({}, {}, objective=1.0, tenant="a")
+    assert sharded.best_for(tenant="b") is None  # caches the None answer
+    record = sharded.add_evaluation({}, {}, objective=5.0, tenant="b")
+    assert sharded.best_for(tenant="b") == record
+
+
+def test_best_for_cache_keeps_earlier_record_on_tie():
+    sharded = ShardedPerformanceDatabase(n_shards=4)
+    first = sharded.add_evaluation({"x": 0}, {}, objective=1.0, tenant="a")
+    assert sharded.best_for(tenant="a") == first  # warm the cache
+    sharded.add_evaluation({"x": 1}, {}, objective=1.0, tenant="a")
+    assert sharded.best_for(tenant="a") == first  # tie resolves in global order
+
+
+def test_best_for_cache_matches_where_indices_str_semantics():
+    sharded = ShardedPerformanceDatabase(n_shards=4)
+    assert sharded.best_for(seed="3") is None  # cache the miss
+    record = sharded.add_evaluation({}, {}, objective=1.0, tenant="a", seed=3)
+    assert sharded.best_for(seed="3") == record  # int tag vs str filter
+    assert sharded.best_for(seed=3) == record  # int filter vs int tag
+
+
+def test_best_for_cache_bounded():
+    from repro.telemetry import sharding as sharding_module
+
+    sharded = ShardedPerformanceDatabase(n_shards=2)
+    record = sharded.add_evaluation({}, {}, objective=1.0, tenant="a")
+    for i in range(sharding_module._BEST_CACHE_MAX + 10):
+        sharded.best_for(probe=str(i))
+    assert len(sharded._best_cache) <= sharding_module._BEST_CACHE_MAX
+    assert sharded.best_for(tenant="a") == record  # still correct after reset
